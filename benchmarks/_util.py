@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or an
+ablation) and records its table under ``benchmarks/results/`` so the
+paper-vs-measured comparison in EXPERIMENTS.md is reproducible from
+artifacts, not terminal scrollback.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_table(
+    name: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    caption: str = "",
+) -> str:
+    """Write an aligned text table to benchmarks/results/<name>.txt and
+    return its rendered form (also printed by the caller)."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    rows = [list(map(str, r)) for r in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    lines: List[str] = []
+    if caption:
+        lines.append(caption)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    text = "\n".join(lines) + "\n"
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text

@@ -1,0 +1,68 @@
+"""Batch circuit execution across ranks (paper §6.2 future work,
+implemented here).
+
+A VQE energy evaluation decomposes into independent measurement-group
+circuits; a parameter sweep decomposes into independent VQE instances.
+Both are embarrassingly batchable.  This benchmark schedules a
+realistic mixed bag of such jobs over rank pools of growing size and
+records makespan, speedup and utilization under the Perlmutter model.
+"""
+
+import numpy as np
+
+from _util import write_table
+from repro.chem.uccsd import count_uccsd_gates
+from repro.hpc.scheduler import BatchScheduler, Job
+
+
+def _vqe_sweep_jobs():
+    """A bond-scan-style batch: 24 UCCSD instances at 10-14 qubits."""
+    jobs = []
+    rng = np.random.default_rng(11)
+    for k in range(24):
+        n = int(rng.choice([10, 12, 14]))
+        gates = count_uccsd_gates(n)["total_gates"]
+        jobs.append(Job(f"vqe_{k}_n{n}", n, gates))
+    return jobs
+
+
+def test_batch_scheduling_speedup(benchmark):
+    jobs = _vqe_sweep_jobs()
+
+    def sweep():
+        return {R: BatchScheduler(R).schedule(jobs) for R in (1, 2, 4, 8, 16)}
+
+    schedules = benchmark(sweep)
+    rows = [
+        (
+            R,
+            f"{s.makespan:.3f}",
+            f"{s.speedup:.2f}x",
+            f"{100 * s.utilization:.1f}%",
+        )
+        for R, s in schedules.items()
+    ]
+    table = write_table(
+        "batch_scheduler",
+        ["ranks", "makespan_s", "speedup", "utilization"],
+        rows,
+        caption="Batched VQE-instance execution (24 jobs, LPT schedule, "
+        "Perlmutter model)",
+    )
+    print("\n" + table)
+    speedups = [s.speedup for s in schedules.values()]
+    assert all(b >= a - 1e-12 for a, b in zip(speedups, speedups[1:]))
+    # with 8 ranks and 24 jobs, expect strong (>5x) speedup
+    assert schedules[8].speedup > 5.0
+    # speedup saturates once ranks outnumber the critical job
+    assert schedules[16].speedup <= 24.0
+
+
+def test_scheduler_scales_to_many_jobs(benchmark):
+    rng = np.random.default_rng(5)
+    jobs = [
+        Job(f"group_{k}", 16, int(rng.integers(50, 5000))) for k in range(2000)
+    ]
+    sched = benchmark(lambda: BatchScheduler(64).schedule(jobs))
+    assert sched.utilization > 0.95
+    assert sum(len(js) for js in sched.assignments.values()) == 2000

@@ -1,0 +1,70 @@
+"""Ablation of §4.2 — direct expectation vs traditional sampling.
+
+Accuracy: the direct method is exact; sampling carries 1/sqrt(shots)
+statistical error.  Runtime: the direct method evaluates the whole
+observable in one amplitude-space pass, while sampling pays per-group
+state copies, basis rotations, and random-number generation.  Both
+claims of §4.2 are measured here on the H4-chain UCCSD state.
+"""
+
+import numpy as np
+
+from _util import write_table
+from repro.chem.uccsd import build_uccsd_circuit
+from repro.core.estimator import make_estimator
+
+
+def _setup(h4_hamiltonian):
+    _, mh = h4_hamiltonian
+    hq = mh.to_qubit()
+    ansatz = build_uccsd_circuit(8, 4)
+    rng = np.random.default_rng(3)
+    bound = ansatz.circuit.bind(
+        list(rng.normal(scale=0.05, size=ansatz.num_parameters))
+    )
+    return hq, bound
+
+
+def test_direct_estimation_speed(benchmark, h4_hamiltonian):
+    hq, bound = _setup(h4_hamiltonian)
+    est = make_estimator("direct")
+    benchmark(lambda: est.estimate(bound, hq))
+
+
+def test_sampling_estimation_speed(benchmark, h4_hamiltonian):
+    hq, bound = _setup(h4_hamiltonian)
+    est = make_estimator("sampling", shots_per_group=4096)
+    benchmark(lambda: est.estimate(bound, hq))
+
+
+def test_sampling_error_vs_shots(benchmark, h4_hamiltonian):
+    """RMS sampling error decays ~ 1/sqrt(shots); direct is exact."""
+    hq, bound = _setup(h4_hamiltonian)
+    exact = make_estimator("direct").estimate(bound, hq)
+
+    def sweep():
+        out = []
+        for shots in (64, 256, 1024, 4096):
+            errs = []
+            for rep in range(6):
+                est = make_estimator(
+                    "sampling", shots_per_group=shots, seed=100 + rep
+                )
+                errs.append((est.estimate(bound, hq) - exact) ** 2)
+            out.append((shots, float(np.sqrt(np.mean(errs)))))
+        return out
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [(s, f"{e:.5f}") for s, e in series]
+    table = write_table(
+        "direct_vs_sampling_error",
+        ["shots_per_group", "rms_error_Ha"],
+        rows,
+        caption=f"Sampling error vs shots (direct method error: 0, "
+        f"exact = {exact:+.8f} Ha)",
+    )
+    print("\n" + table)
+    errors = [e for _, e in series]
+    # 64x more shots should cut RMS error by ~8x; accept >= 2.5x for
+    # statistical wiggle with 6 repetitions.
+    assert errors[-1] < errors[0] / 2.5

@@ -1,0 +1,73 @@
+"""Figure 1 — the scaling-overhead motivation figures.
+
+(a) UCCSD ansatz gate count vs qubits (12-30),
+(b) Pauli terms of the downfolded two-body observable vs qubits,
+(c) statevector memory vs qubits.
+
+All three are resource counts: the benchmark times the counting
+itself (fast) and regenerates the paper's series, asserting the
+paper's qualitative claims — polynomial blow-ups in (a)/(b),
+exponential in (c), and the quoted magnitudes at the endpoints.
+"""
+
+import numpy as np
+
+from _util import write_table
+from repro.core.counting import (
+    jw_pauli_term_count,
+    statevector_memory_bytes,
+    uccsd_gate_count,
+)
+
+QUBITS = list(range(12, 32, 2))
+
+
+def test_fig1a_uccsd_gate_count(benchmark):
+    counts = benchmark(lambda: [uccsd_gate_count(n) for n in QUBITS])
+    table = write_table(
+        "fig1a_uccsd_gates",
+        ["qubits", "gates"],
+        zip(QUBITS, counts),
+        caption="Fig 1a: UCCSD ansatz gate count vs qubits (paper: ~2.5e6 at 30)",
+    )
+    print("\n" + table)
+    # Monotone growth, millions of gates at 30 qubits (paper's endpoint).
+    assert all(b > a for a, b in zip(counts, counts[1:]))
+    assert 1e6 < counts[-1] < 1e7
+    # Super-cubic polynomial growth (doubling qubits x>8 the gates).
+    assert counts[-1] / counts[QUBITS.index(14)] > 8
+
+
+def test_fig1b_pauli_terms(benchmark):
+    counts = benchmark(lambda: [jw_pauli_term_count(n) for n in QUBITS])
+    table = write_table(
+        "fig1b_pauli_terms",
+        ["qubits", "pauli_terms"],
+        zip(QUBITS, counts),
+        caption="Fig 1b: Pauli terms of a dense two-body observable "
+        "(paper: ~3e4 at 30 for the downfolded cc-pV5Z H2O)",
+    )
+    print("\n" + table)
+    assert all(b > a for a, b in zip(counts, counts[1:]))
+    # Tens of thousands of terms at 30 qubits; O(n^4) shape.
+    assert 1e4 < counts[-1] < 1e5
+    ratio = counts[-1] / counts[0]
+    expected = (30 / 12) ** 4
+    assert 0.3 * expected < ratio < 3 * expected
+
+
+def test_fig1c_memory(benchmark):
+    gib = benchmark(
+        lambda: [statevector_memory_bytes(n) / (1 << 30) for n in QUBITS]
+    )
+    table = write_table(
+        "fig1c_memory",
+        ["qubits", "GiB"],
+        [(n, f"{g:.6f}") for n, g in zip(QUBITS, gib)],
+        caption="Fig 1c: statevector memory vs qubits (paper: ~16 GB at 30)",
+    )
+    print("\n" + table)
+    # Exponential: each +2 qubits quadruples memory; 16 GiB at 30.
+    for a, b in zip(gib, gib[1:]):
+        assert np.isclose(b / a, 4.0)
+    assert np.isclose(gib[-1], 16.0)

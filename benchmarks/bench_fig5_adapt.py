@@ -1,0 +1,79 @@
+"""Figure 5 — ADAPT-VQE convergence on the downfolded 6-orbital H2O.
+
+The full paper experiment: STO-3G H2O, O 1s core downfolded out
+(Hermitian commutator expansion), 12-qubit effective Hamiltonian,
+ADAPT-VQE with the UCCSD pool, energy error vs exact diagonalization
+per iteration.  Paper: monotone convergence reaching the 1 mHa
+chemical-accuracy line around iteration 16, one ansatz layer added per
+iteration.
+
+This is the heavyweight benchmark (~2 minutes); it runs once.
+"""
+
+import numpy as np
+import pytest
+
+from _util import write_table
+from repro.chem.downfolding import hermitian_downfold
+from repro.chem.fci import exact_ground_energy
+from repro.chem.pools import uccsd_pool
+from repro.chem.reference import hartree_fock_state
+from repro.core.adapt import AdaptVQE
+
+MAX_ITERATIONS = 25
+PAPER_ITERATIONS_TO_1MHA = 16
+
+
+def test_fig5_adapt_h2o(benchmark, h2o_hamiltonian):
+    scf, mh = h2o_hamiltonian
+    downfolded = hermitian_downfold(
+        mh, scf.mo_energies, core_orbitals=[0],
+        active_orbitals=[1, 2, 3, 4, 5, 6],
+    )
+    heff = downfolded.effective_hamiltonian.chop(1e-8)
+    e_exact = exact_ground_energy(heff, num_particles=8, sz=0)
+    pool = uccsd_pool(12, 8)
+    reference = hartree_fock_state(12, 8)
+
+    def run_adapt():
+        adapt = AdaptVQE(
+            heff, pool, reference,
+            max_iterations=MAX_ITERATIONS,
+            reference_energy=e_exact,
+            energy_tolerance=1e-3,
+        )
+        return adapt.run()
+
+    result = benchmark.pedantic(run_adapt, rounds=1, iterations=1)
+
+    rows = [
+        (it.iteration, f"{it.energy:+.8f}", f"{it.error_vs_reference * 1000:.4f}",
+         it.num_parameters, it.selected_label)
+        for it in result.iterations
+    ]
+    table = write_table(
+        "fig5_adapt_convergence",
+        ["iter", "energy_Ha", "dE_mHa", "params", "operator"],
+        rows,
+        caption=(
+            f"Fig 5: ADAPT-VQE on downfolded 12-qubit H2O "
+            f"(exact {e_exact:+.8f} Ha; paper reaches 1 mHa at ~"
+            f"{PAPER_ITERATIONS_TO_1MHA} iterations)"
+        ),
+    )
+    print("\n" + table)
+
+    hit = result.iterations_to_accuracy(1e-3)
+    assert hit is not None, "never reached chemical accuracy"
+    # Same regime as the paper's ~16 iterations.
+    assert 10 <= hit <= MAX_ITERATIONS
+    # One layer per iteration (Fig. 5 caption).
+    for k, it in enumerate(result.iterations, start=1):
+        assert it.num_parameters == k
+    # Monotone non-increasing energy (variational).
+    energies = [it.energy for it in result.iterations]
+    for a, b in zip(energies, energies[1:]):
+        assert b <= a + 1e-9
+    # Downfolding did its job: starting error (HF vs exact) is tens of
+    # mHa and the trajectory crosses 1 mHa.
+    assert result.iterations[0].error_vs_reference > 1e-2

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness: expensive chemistry
+setups (SCF, downfolding) are computed once per session."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.chem.hamiltonian import build_molecular_hamiltonian
+from repro.chem.molecule import h2, h2o, h4_chain
+from repro.chem.scf import run_rhf
+
+
+@pytest.fixture(scope="session")
+def h2_hamiltonian():
+    scf = run_rhf(h2())
+    return scf, build_molecular_hamiltonian(scf)
+
+
+@pytest.fixture(scope="session")
+def h4_hamiltonian():
+    scf = run_rhf(h4_chain())
+    return scf, build_molecular_hamiltonian(scf)
+
+
+@pytest.fixture(scope="session")
+def h2o_hamiltonian():
+    scf = run_rhf(h2o())
+    return scf, build_molecular_hamiltonian(scf)

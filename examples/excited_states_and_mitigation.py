@@ -1,0 +1,67 @@
+"""Excited states (VQD) and error mitigation (ZNE) — the
+validation-side capabilities the simulator stack enables.
+
+Part 1: variational quantum deflation computes the three lowest
+H2 eigenstates in the 2-electron/Sz=0 sector with the generalized
+UCCSD ansatz, matched against exact diagonalization.
+
+Part 2: zero-noise extrapolation on the noisy density-matrix
+simulator: unitary folding amplifies depolarizing noise by 1x/3x/5x
+and Richardson extrapolation recovers most of the lost accuracy.
+
+    python examples/excited_states_and_mitigation.py
+"""
+
+import numpy as np
+
+from repro.chem.fci import sector_indices
+from repro.chem.hamiltonian import build_molecular_hamiltonian
+from repro.chem.molecule import h2
+from repro.chem.reference import hartree_fock_state
+from repro.chem.scf import run_rhf
+from repro.chem.uccsd import build_uccsd_circuit, uccsd_generators
+from repro.core.vqd import run_vqd
+from repro.sim.expectation import expectation_direct
+from repro.sim.mitigation import zne_expectation
+from repro.sim.noise import DepolarizingChannel, NoiseModel
+from repro.sim.statevector import StatevectorSimulator
+
+
+def main() -> None:
+    scf = run_rhf(h2())
+    hq = build_molecular_hamiltonian(scf).to_qubit()
+
+    # --- Part 1: VQD spectrum ------------------------------------------------
+    mat = hq.to_sparse()
+    keep = sector_indices(4, num_particles=2, sz=0)
+    exact = np.linalg.eigvalsh(mat[np.ix_(keep, keep)].toarray())
+
+    gens = [a for _, a in uccsd_generators(4, 2, generalized=True)]
+    res = run_vqd(hq, gens, hartree_fock_state(4, 2), num_states=3, restarts=3)
+
+    print("H2 spectrum (2 electrons, Sz = 0):")
+    print(f"{'state':>6} {'VQD (Ha)':>12} {'exact (Ha)':>12} {'err (mHa)':>10}")
+    for k, (e, x) in enumerate(zip(res.energies, exact)):
+        print(f"{k:>6} {e:>12.6f} {x:>12.6f} {abs(e - x) * 1000:>10.4f}")
+    print(f"first excitation energy: {res.gaps[0]:.4f} Ha "
+          f"({res.gaps[0] * 27.2114:.2f} eV)")
+
+    # --- Part 2: ZNE ---------------------------------------------------------
+    ansatz = build_uccsd_circuit(4, 2)
+    bound = ansatz.circuit.bind([0.0, 0.0, -0.107])
+    noiseless = expectation_direct(StatevectorSimulator(4).run(bound), hq)
+    noise = NoiseModel().add_all_qubit_channel(DepolarizingChannel(2e-4))
+    mitigated, per_scale = zne_expectation(bound, hq, noise, (1, 3, 5))
+
+    print("\nzero-noise extrapolation (depolarizing p = 2e-4 per gate):")
+    for s, v in sorted(per_scale.items()):
+        print(f"  scale {s}: E = {v:+.6f} Ha "
+              f"(err {abs(v - noiseless) * 1000:7.3f} mHa)")
+    print(f"  ZNE    : E = {mitigated:+.6f} Ha "
+          f"(err {abs(mitigated - noiseless) * 1000:7.3f} mHa)")
+    gain = abs(per_scale[1] - noiseless) / max(abs(mitigated - noiseless), 1e-12)
+    print(f"  mitigation reduced the error {gain:.0f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""H2 dissociation curve with warm-started VQE (paper §6.2 incremental
+optimization) and automatic comparison against exact diagonalization.
+
+Produces the classic potential energy surface: RHF fails at
+dissociation (no static correlation), UCCSD-VQE tracks FCI along the
+whole curve, and warm starting each geometry from the previous
+optimum reduces the optimizer work.
+
+    python examples/h2_dissociation.py
+"""
+
+import numpy as np
+
+from repro.chem.molecule import h2
+from repro.core.scan import scan_potential_energy_surface
+
+
+def main() -> None:
+    lengths = [0.5, 0.6, 0.7, 0.8, 0.9, 1.1, 1.3, 1.6, 2.0, 2.5]
+    scan = scan_potential_energy_surface(h2, lengths, warm_start=True)
+
+    print(f"{'r (A)':>6} {'E_RHF':>12} {'E_VQE':>12} {'E_FCI':>12} "
+          f"{'VQE-FCI (mHa)':>14} {'evals':>6}")
+    for p in scan.points:
+        print(
+            f"{p.parameter:>6.2f} {p.scf_energy:>12.6f} {p.vqe_energy:>12.6f} "
+            f"{p.exact_energy:>12.6f} "
+            f"{(p.vqe_energy - p.exact_energy) * 1000:>14.6f} "
+            f"{p.function_evaluations:>6}"
+        )
+
+    eq = scan.equilibrium()
+    print(f"\nequilibrium: r = {eq.parameter:.2f} A, E = {eq.vqe_energy:.6f} Ha "
+          "(experimental r_e = 0.741 A)")
+    stretched = scan.points[-1]
+    print(
+        f"at r = {stretched.parameter:.1f} A the RHF error is "
+        f"{(stretched.scf_energy - stretched.exact_energy) * 1000:.1f} mHa "
+        f"while VQE stays within "
+        f"{abs(stretched.vqe_energy - stretched.exact_energy) * 1000:.4f} mHa "
+        "— the static-correlation regime VQE is for."
+    )
+    print(f"total optimizer evaluations (warm-started): "
+          f"{scan.total_function_evaluations}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The paper's showcase experiment (Fig. 5): ADAPT-VQE on the
+downfolded 6-orbital (12-qubit) H2O molecule.
+
+Pipeline: STO-3G integrals -> RHF -> Hermitian CC downfolding (O 1s
+core integrated out via the second-order commutator expansion, Eq. 2)
+-> 12-qubit effective Hamiltonian -> ADAPT-VQE with the UCCSD pool.
+
+Prints the per-iteration energy error against the exact (sparse-
+diagonalized) ground state of the effective Hamiltonian — the Fig. 5
+curve — and reports the iteration at which 1 mHa chemical accuracy is
+reached (the paper observes ~16).
+
+    python examples/h2o_downfolded_adapt.py [--max-iterations N]
+"""
+
+import argparse
+import time
+
+from repro.chem.downfolding import hermitian_downfold
+from repro.chem.fci import exact_ground_energy
+from repro.chem.hamiltonian import build_molecular_hamiltonian
+from repro.chem.molecule import h2o
+from repro.chem.pools import uccsd_pool
+from repro.chem.reference import hartree_fock_state
+from repro.chem.scf import run_rhf
+from repro.core.adapt import AdaptVQE
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--max-iterations", type=int, default=25)
+    args = parser.parse_args()
+
+    t0 = time.perf_counter()
+    scf = run_rhf(h2o())
+    print(f"RHF energy: {scf.energy:+.6f} Ha  ({time.perf_counter() - t0:.1f}s)")
+
+    hamiltonian = build_molecular_hamiltonian(scf)
+    t0 = time.perf_counter()
+    downfolded = hermitian_downfold(
+        hamiltonian, scf.mo_energies,
+        core_orbitals=[0], active_orbitals=[1, 2, 3, 4, 5, 6],
+    )
+    heff = downfolded.effective_hamiltonian.chop(1e-8)
+    print(
+        f"downfolded: {downfolded.num_active_qubits} qubits, "
+        f"{heff.num_terms} Pauli terms, |sigma|_1 = "
+        f"{downfolded.sigma_norm1:.4f}  ({time.perf_counter() - t0:.1f}s)"
+    )
+
+    e_exact = exact_ground_energy(heff, num_particles=8, sz=0)
+    print(f"exact ground state of H_eff: {e_exact:+.8f} Ha")
+
+    pool = uccsd_pool(12, 8)
+    reference = hartree_fock_state(12, 8)
+    adapt = AdaptVQE(
+        heff, pool, reference,
+        max_iterations=args.max_iterations,
+        reference_energy=e_exact,
+        energy_tolerance=1e-3,  # 1 mHa chemical accuracy (Fig. 5)
+    )
+    t0 = time.perf_counter()
+    result = adapt.run(verbose=True)
+    print(f"ADAPT-VQE finished in {time.perf_counter() - t0:.1f}s")
+
+    hit = result.iterations_to_accuracy(1e-3)
+    print(f"final energy: {result.energy:+.8f} Ha")
+    print(f"iterations to 1 mHa: {hit} (paper Fig. 5: ~16)")
+    print("ansatz depth grew by exactly 1 layer per iteration: "
+          f"{len(result.operator_labels)} layers total")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Noisy VQE validation with the density-matrix simulation mode.
+
+The paper positions large-scale simulation as the way to characterize
+and validate algorithms *before* hardware deployment.  This example
+does that characterization for H2 UCCSD: the noiseless optimum is
+found first (statevector mode), then the same optimal circuit is
+re-evaluated under increasing depolarizing noise in density-matrix
+mode, quantifying how much chemical accuracy survives at each error
+rate.
+
+    python examples/noisy_vqe.py
+"""
+
+import numpy as np
+
+from repro.chem.fci import exact_ground_energy
+from repro.chem.hamiltonian import build_molecular_hamiltonian
+from repro.chem.molecule import h2
+from repro.chem.reference import hartree_fock_state
+from repro.chem.scf import run_rhf
+from repro.chem.uccsd import build_uccsd_circuit, uccsd_generators
+from repro.core.vqe import VQE
+from repro.sim.density_matrix import DensityMatrixSimulator
+from repro.sim.fusion import fuse_circuit
+from repro.sim.noise import DepolarizingChannel, NoiseModel
+
+
+def main() -> None:
+    scf = run_rhf(h2())
+    hamiltonian = build_molecular_hamiltonian(scf)
+    hq = hamiltonian.to_qubit()
+    e_exact = exact_ground_energy(hq, num_particles=2, sz=0)
+
+    # Noiseless optimization (chemistry mode).
+    gens = [a for _, a in uccsd_generators(4, 2)]
+    vqe = VQE(hq, generators=gens, reference_state=hartree_fock_state(4, 2))
+    opt = vqe.run()
+    print(f"noiseless VQE: {opt.energy:+.8f} Ha (exact {e_exact:+.8f})")
+
+    # Bind the optimum into the portable circuit and fuse it — fewer
+    # gates means fewer noise channel applications on hardware too.
+    ansatz = build_uccsd_circuit(4, 2)
+    bound = ansatz.circuit.bind(list(opt.optimal_parameters))
+    fused = fuse_circuit(bound)
+    print(
+        f"circuit: {fused.original_gates} gates -> {fused.fused_gates} "
+        f"after fusion ({100 * fused.reduction:.0f}% reduction)"
+    )
+
+    chem_acc = 1.594e-3
+    worst_ok = 0.0
+    print(f"\n{'1q error':>9} {'2q error':>9} {'energy (Ha)':>14} "
+          f"{'error (mHa)':>12} {'chem. acc.':>10}")
+    for p1 in (0.0, 1e-6, 1e-5, 1e-4, 1e-3, 5e-3):
+        p2 = 10 * p1  # two-qubit gates are ~10x noisier, as on hardware
+        model = NoiseModel()
+        if p1 > 0:
+            model.add_all_qubit_channel(DepolarizingChannel(p1), 1)
+            model.add_all_qubit_channel(DepolarizingChannel(p2), 2)
+        sim = DensityMatrixSimulator(4, noise_model=model if p1 > 0 else None)
+        sim.run(bound)
+        energy = sim.expectation(hq)
+        err = abs(energy - e_exact)
+        ok = err < chem_acc
+        if ok:
+            worst_ok = max(worst_ok, p2)
+        print(
+            f"{p1:>9.0e} {p2:>9.0e} {energy:>+14.8f} {err * 1000:>12.4f} "
+            f"{'yes' if ok else 'NO':>10}"
+        )
+
+    floor = f"~{worst_ok:.0e}" if worst_ok > 0 else "well below 1e-5"
+    print(f"\nNoise floors the achievable accuracy: with this {len(bound)}-gate "
+          f"circuit, chemical accuracy requires a two-qubit error rate of "
+          f"{floor} — the kind of pre-hardware characterization the "
+          "simulator is for (and why the fused circuit matters on devices).")
+
+
+if __name__ == "__main__":
+    main()

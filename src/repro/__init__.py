@@ -1,0 +1,34 @@
+"""repro — a from-scratch reproduction of "Enabling Scalable VQE
+Simulation on Leading HPC Systems" (SC-W 2023).
+
+Layers (bottom-up):
+
+* :mod:`repro.ir` — circuit IR, gate library, Pauli algebra (XACC role)
+* :mod:`repro.sim` — statevector / density-matrix simulators, gate
+  fusion, direct expectation (NWQ-Sim role)
+* :mod:`repro.hpc` — distributed partitioned statevector, simulated
+  communicator, machine performance models (Perlmutter/Summit role)
+* :mod:`repro.chem` — Gaussian integrals, RHF, MP2, fermionic algebra,
+  qubit mappings, CC downfolding, UCCSD/ADAPT pools (chemistry role)
+* :mod:`repro.opt` — classical optimizers and gradients
+* :mod:`repro.core` — the paper's optimized VQE flow: caching,
+  estimation strategies, VQE/ADAPT drivers, resource counting, and the
+  end-to-end workflow of Fig. 2
+"""
+
+__version__ = "1.0.0"
+
+from repro.ir import Circuit, Gate, Parameter, PauliString, PauliSum
+from repro.sim import StatevectorSimulator, fuse_circuit, get_backend
+
+__all__ = [
+    "__version__",
+    "Circuit",
+    "Gate",
+    "Parameter",
+    "PauliString",
+    "PauliSum",
+    "StatevectorSimulator",
+    "fuse_circuit",
+    "get_backend",
+]

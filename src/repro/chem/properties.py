@@ -1,0 +1,42 @@
+"""Molecular properties from the SCF solution.
+
+Currently: the electric dipole moment — nuclear contribution plus the
+trace of the density against the dipole integral matrices.  Serves as
+an end-to-end observable check of the integral engine beyond energies.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.chem.integrals import dipole_matrices
+from repro.chem.scf import SCFResult
+
+__all__ = ["dipole_moment", "AU_TO_DEBYE"]
+
+AU_TO_DEBYE = 2.541746473
+
+
+def dipole_moment(
+    scf: SCFResult, origin: Sequence[float] = (0.0, 0.0, 0.0)
+) -> Tuple[np.ndarray, float]:
+    """RHF electric dipole.
+
+    Returns ``(vector_au, magnitude_au)``; multiply by
+    :data:`AU_TO_DEBYE` for Debye.  For neutral molecules the result is
+    origin-independent (tested).
+    """
+    origin = np.asarray(origin, dtype=float)
+    n_occ = scf.num_occupied
+    dm = 2.0 * scf.mo_coeff[:, :n_occ] @ scf.mo_coeff[:, :n_occ].T
+    mats = dipole_matrices(scf.basis, origin)
+    electronic = -np.array(
+        [np.einsum("pq,pq->", dm, mats[d]) for d in range(3)]
+    )
+    nuclear = np.zeros(3)
+    for atom in scf.molecule.atoms:
+        nuclear += atom.atomic_number * (np.asarray(atom.position) - origin)
+    mu = nuclear + electronic
+    return mu, float(np.linalg.norm(mu))

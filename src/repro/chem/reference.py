@@ -1,0 +1,55 @@
+"""Reference-state preparation circuits.
+
+The Hartree–Fock determinant is the starting point of every VQE run
+(paper §3.1 step 1).  Under Jordan–Wigner it is a computational basis
+state (X gates on occupied spin orbitals); under parity or
+Bravyi–Kitaev the occupation vector is pushed through the encoding
+matrix first.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chem.mappings import encoding_matrix
+from repro.ir.circuit import Circuit
+
+__all__ = ["hartree_fock_circuit", "hartree_fock_bitstring", "hartree_fock_state"]
+
+
+def hartree_fock_bitstring(
+    num_spin_orbitals: int, num_electrons: int, mapping: str = "jordan-wigner"
+) -> int:
+    """Encoded basis-state index of the HF determinant."""
+    if num_electrons > num_spin_orbitals:
+        raise ValueError("more electrons than spin orbitals")
+    n = np.zeros(num_spin_orbitals, dtype=np.uint8)
+    n[:num_electrons] = 1  # interleaved convention: lowest SOs occupied
+    beta = encoding_matrix(mapping, num_spin_orbitals)
+    b = (beta @ n) % 2
+    index = 0
+    for q in range(num_spin_orbitals):
+        if b[q]:
+            index |= 1 << q
+    return index
+
+
+def hartree_fock_circuit(
+    num_spin_orbitals: int, num_electrons: int, mapping: str = "jordan-wigner"
+) -> Circuit:
+    """X gates preparing the encoded HF determinant from |0...0>."""
+    index = hartree_fock_bitstring(num_spin_orbitals, num_electrons, mapping)
+    circ = Circuit(num_spin_orbitals)
+    for q in range(num_spin_orbitals):
+        if (index >> q) & 1:
+            circ.x(q)
+    return circ
+
+
+def hartree_fock_state(
+    num_spin_orbitals: int, num_electrons: int, mapping: str = "jordan-wigner"
+) -> np.ndarray:
+    """Dense statevector of the encoded HF determinant."""
+    state = np.zeros(1 << num_spin_orbitals, dtype=np.complex128)
+    state[hartree_fock_bitstring(num_spin_orbitals, num_electrons, mapping)] = 1.0
+    return state

@@ -1,0 +1,137 @@
+"""Analytic resource counting for the paper's scaling figures.
+
+Everything in Fig. 1 and Fig. 3 is a *count*, independent of hardware:
+
+* Fig. 1a — UCCSD ansatz gates vs qubits (``uccsd_gate_count``),
+* Fig. 1b — Pauli terms of a (downfolded) two-body observable vs
+  qubits (``jw_pauli_term_count``),
+* Fig. 1c — statevector memory vs qubits (``statevector_memory_bytes``),
+* Fig. 3  — gates per VQE energy evaluation with and without
+  post-ansatz state caching (``energy_evaluation_gate_counts``).
+
+``jw_pauli_term_count`` is an exact closed form for the JW image of a
+dense two-body spin-orbital Hamiltonian, derived from the string
+families the mapping produces (diagonal Z/ZZ, hopping strings with
+optional number-operator Z insertions, and double-excitation strings —
+6 surviving patterns per same-spin quadruple, 4 per mixed-spin).  The
+formula is validated term-for-term against explicit construction at 12
+and 16 qubits in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+from typing import Dict, Optional
+
+from repro.chem.uccsd import count_uccsd_gates
+
+__all__ = [
+    "uccsd_gate_count",
+    "jw_pauli_term_count",
+    "jw_basis_change_gates",
+    "statevector_memory_bytes",
+    "energy_evaluation_gate_counts",
+    "EnergyEvaluationCost",
+]
+
+
+def uccsd_gate_count(num_qubits: int, num_electrons: Optional[int] = None) -> int:
+    """Total gates of the compiled one-Trotter-step UCCSD ansatz
+    (Fig. 1a).  Half filling by default, matching the paper's sweep."""
+    return count_uccsd_gates(num_qubits, num_electrons)["total_gates"]
+
+
+def jw_pauli_term_count(num_qubits: int) -> int:
+    """Exact Pauli-term count of the JW-mapped dense two-body
+    Hamiltonian on ``num_qubits`` qubits (= spin orbitals), including
+    the identity term (Fig. 1b).
+
+    Families (n_sp = num_qubits / 2 spatial orbitals, N = num_qubits):
+
+    ========================  ==========================  ============
+    family                    multiplicity                strings each
+    ========================  ==========================  ============
+    identity                  1                           1
+    Z_p                       N                           1
+    Z_p Z_q                   C(N, 2)                     1
+    hop (same-spin pair)      2 C(n_sp, 2)                2 (N - 1)
+    same-spin quadruple       2 C(n_sp, 4)                6
+    mixed-spin quadruple      C(n_sp, 2)^2                4
+    ========================  ==========================  ============
+    """
+    if num_qubits % 2 != 0:
+        raise ValueError("spin-orbital count must be even")
+    n_sp = num_qubits // 2
+    n = num_qubits
+    return (
+        1
+        + n
+        + comb(n, 2)
+        + 4 * (n - 1) * comb(n_sp, 2)
+        + 12 * comb(n_sp, 4)
+        + 4 * comb(n_sp, 2) ** 2
+    )
+
+
+def jw_basis_change_gates(num_qubits: int) -> int:
+    """Total basis-rotation gates needed to measure every term of the
+    dense two-body JW Hamiltonian once (X factor -> 1 gate, Y -> 2).
+
+    Hop strings split evenly into XZ..X (2 gates) and YZ..Y (4 gates);
+    quadruple strings average one Y per two letters (6 gates for the
+    4-letter strings).  Diagonal strings cost nothing.
+    """
+    n_sp = num_qubits // 2
+    n = num_qubits
+    hop_strings = 4 * (n - 1) * comb(n_sp, 2)
+    quad_strings = 12 * comb(n_sp, 4) + 4 * comb(n_sp, 2) ** 2
+    return hop_strings * 3 + quad_strings * 6
+
+
+def statevector_memory_bytes(num_qubits: int, bytes_per_amplitude: int = 16) -> int:
+    """Memory of a dense complex128 statevector (Fig. 1c)."""
+    return (1 << num_qubits) * bytes_per_amplitude
+
+
+@dataclass
+class EnergyEvaluationCost:
+    """Gate budget of one VQE energy evaluation (the Fig. 3 quantities)."""
+
+    num_qubits: int
+    ansatz_gates: int
+    num_pauli_terms: int
+    basis_change_gates: int
+    non_caching_gates: int
+    caching_gates: int
+
+    @property
+    def savings_orders_of_magnitude(self) -> float:
+        """log10(non_caching / caching) — the paper reports 3 to 5."""
+        import math
+
+        return math.log10(self.non_caching_gates / self.caching_gates)
+
+
+def energy_evaluation_gate_counts(
+    num_qubits: int, num_electrons: Optional[int] = None
+) -> EnergyEvaluationCost:
+    """Fig. 3: gates for one full energy evaluation.
+
+    Non-caching execution re-prepares the ansatz for *every* Pauli
+    term before its basis change (paper §5.1); caching prepares it
+    once and pays only the basis changes.
+    """
+    ansatz = uccsd_gate_count(num_qubits, num_electrons)
+    terms = jw_pauli_term_count(num_qubits)
+    basis = jw_basis_change_gates(num_qubits)
+    non_caching = terms * ansatz + basis
+    caching = ansatz + basis
+    return EnergyEvaluationCost(
+        num_qubits=num_qubits,
+        ansatz_gates=ansatz,
+        num_pauli_terms=terms,
+        basis_change_gates=basis,
+        non_caching_gates=non_caching,
+        caching_gates=caching,
+    )

@@ -1,0 +1,104 @@
+"""Variance-weighted shot allocation across measurement groups.
+
+In sampled execution the estimator variance of <H> is
+
+    Var = sum_g Var_g / s_g,   sum_g s_g = S (shot budget),
+
+and Lagrange optimization gives the classic answer: allocate shots
+proportionally to the square root of each group's variance,
+``s_g ~ sqrt(Var_g)``.  Uniform allocation — what a naive driver does —
+wastes budget on tiny-coefficient groups.  Both policies are provided
+so the benchmark can quantify the gap; group variances are either
+supplied (from a pilot run) or bounded by ``(sum_i |c_i|)^2`` per
+group, the worst case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ir.pauli import PauliString, PauliSum
+from repro.sim.expectation import basis_change_circuit, diagonal_expectation
+from repro.sim.statevector import StatevectorSimulator
+from repro.utils.bitops import count_set_bits
+
+__all__ = ["allocate_shots", "sampled_energy_with_allocation"]
+
+
+def allocate_shots(
+    group_weights: Sequence[float], total_shots: int, minimum: int = 16
+) -> List[int]:
+    """Integer shot counts proportional to sqrt-weights.
+
+    ``group_weights`` are (upper bounds on) per-group variances; each
+    group receives at least ``minimum`` shots and the counts sum to
+    ``total_shots`` exactly.
+    """
+    w = np.sqrt(np.maximum(np.asarray(group_weights, dtype=float), 0.0))
+    k = len(w)
+    if total_shots < minimum * k:
+        raise ValueError("shot budget below the per-group minimum")
+    if w.sum() == 0:
+        w = np.ones(k)
+    raw = minimum + (total_shots - minimum * k) * w / w.sum()
+    shots = np.floor(raw).astype(int)
+    # distribute the rounding remainder to the largest fractional parts
+    remainder = total_shots - int(shots.sum())
+    order = np.argsort(-(raw - shots))
+    for i in range(remainder):
+        shots[order[i % k]] += 1
+    return [int(s) for s in shots]
+
+
+def sampled_energy_with_allocation(
+    state: np.ndarray,
+    hamiltonian: PauliSum,
+    total_shots: int,
+    policy: str = "variance",
+    rng: Optional[np.random.Generator] = None,
+) -> float:
+    """Finite-shot <H> under a shot-allocation policy.
+
+    ``policy`` is ``"variance"`` (sqrt-weighted by the group coefficient
+    1-norm squared — the worst-case variance bound) or ``"uniform"``.
+    """
+    rng = rng or np.random.default_rng()
+    n = hamiltonian.num_qubits
+    groups = hamiltonian.group_qubitwise_commuting()
+    # identity-only groups are free
+    measurable = []
+    constant = 0.0
+    for g in groups:
+        if all(p.is_identity for _, p in g):
+            constant += sum(c.real for c, _ in g)
+        else:
+            measurable.append(g)
+    if not measurable:
+        return constant
+    if policy == "variance":
+        weights = [sum(abs(c) for c, _ in g) ** 2 for g in measurable]
+    elif policy == "uniform":
+        weights = [1.0] * len(measurable)
+    else:
+        raise ValueError("policy must be 'variance' or 'uniform'")
+    shots = allocate_shots(weights, total_shots)
+
+    sim = StatevectorSimulator(n)
+    total = constant
+    for g, s in zip(measurable, shots):
+        strings = [p for _, p in g]
+        circ = basis_change_circuit(strings, n)
+        sim.set_state(state, copy=True)
+        sim.apply_circuit(circ)
+        samples = sim.sample(s, rng)
+        for coeff, pstr in g:
+            if pstr.is_identity:
+                total += coeff.real
+                continue
+            z_mask = pstr.x | pstr.z
+            signs = 1.0 - 2.0 * (count_set_bits(samples & z_mask) & 1)
+            total += coeff.real * float(np.mean(signs))
+    return total

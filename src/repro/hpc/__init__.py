@@ -1,0 +1,36 @@
+"""HPC execution substrate: simulated communicator, distributed
+partitioned statevector, machine performance models, batch scheduler."""
+
+from repro.hpc.cluster import MACHINES, Machine, get_machine
+from repro.hpc.comm import CommStats, SimComm
+from repro.hpc.distributed import DistributedStatevector
+from repro.hpc.perfmodel import (
+    SimulatedTime,
+    count_exchanges,
+    estimate_circuit_time,
+    max_qubits_for_memory,
+    strong_scaling_curve,
+    weak_scaling_curve,
+)
+from repro.hpc.ensemble import EnsembleExecutor, EnsembleResult
+from repro.hpc.scheduler import BatchScheduler, Job, Schedule
+
+__all__ = [
+    "SimComm",
+    "CommStats",
+    "DistributedStatevector",
+    "Machine",
+    "MACHINES",
+    "get_machine",
+    "SimulatedTime",
+    "estimate_circuit_time",
+    "count_exchanges",
+    "strong_scaling_curve",
+    "weak_scaling_curve",
+    "max_qubits_for_memory",
+    "BatchScheduler",
+    "Job",
+    "Schedule",
+    "EnsembleExecutor",
+    "EnsembleResult",
+]

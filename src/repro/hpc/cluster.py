@@ -1,0 +1,97 @@
+"""Machine descriptions for the leading HPC systems of the paper.
+
+Parameter sets use published per-device figures for the machines the
+paper targets (NERSC Perlmutter, OLCF Summit) plus a Frontier-class
+and a plain CPU-node preset for comparison.  These feed the analytic
+performance model (``repro.hpc.perfmodel``); absolute times are
+estimates, but the *ratios* that drive scaling shape — memory
+bandwidth vs interconnect bandwidth vs latency — are the real ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Machine", "MACHINES", "get_machine"]
+
+GiB = 1 << 30
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One device + interconnect description.
+
+    Attributes
+    ----------
+    mem_bandwidth:
+        Device memory bandwidth, bytes/s (HBM for GPUs).
+    device_memory:
+        Usable device memory, bytes — the Fig. 1c / §4.1.4 capacity
+        limit governing when states spill to host.
+    net_bandwidth:
+        Per-endpoint injection bandwidth, bytes/s.
+    net_latency:
+        Per-message latency, seconds.
+    gate_overhead:
+        Fixed per-gate launch overhead, seconds (kernel launch on
+        GPUs, loop overhead on CPUs).
+    """
+
+    name: str
+    mem_bandwidth: float
+    device_memory: int
+    net_bandwidth: float
+    net_latency: float
+    gate_overhead: float
+
+
+MACHINES: Dict[str, Machine] = {
+    # NERSC Perlmutter: A100-40GB, Slingshot-11 (4x 25 GB/s NICs/node,
+    # ~1 per GPU).
+    "perlmutter": Machine(
+        name="perlmutter",
+        mem_bandwidth=1.555e12,
+        device_memory=40 * GiB,
+        net_bandwidth=25e9,
+        net_latency=2.0e-6,
+        gate_overhead=4.0e-6,
+    ),
+    # OLCF Summit: V100-16GB, dual-rail EDR InfiniBand (23 GB/s/node,
+    # ~3.8 GB/s per GPU when all six inject).
+    "summit": Machine(
+        name="summit",
+        mem_bandwidth=0.9e12,
+        device_memory=16 * GiB,
+        net_bandwidth=4e9,
+        net_latency=1.5e-6,
+        gate_overhead=5.0e-6,
+    ),
+    # OLCF Frontier-class: MI250X GCD, Slingshot-11.
+    "frontier": Machine(
+        name="frontier",
+        mem_bandwidth=1.6e12,
+        device_memory=64 * GiB,
+        net_bandwidth=25e9,
+        net_latency=2.0e-6,
+        gate_overhead=4.0e-6,
+    ),
+    # A dual-socket CPU node (DDR4).
+    "cpu-node": Machine(
+        name="cpu-node",
+        mem_bandwidth=2.0e11,
+        device_memory=256 * GiB,
+        net_bandwidth=12.5e9,
+        net_latency=1.2e-6,
+        gate_overhead=1.0e-7,
+    ),
+}
+
+
+def get_machine(name: str) -> Machine:
+    try:
+        return MACHINES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown machine {name!r}; available: {sorted(MACHINES)}"
+        ) from None

@@ -1,0 +1,117 @@
+"""Simulated MPI-style communicator with traffic accounting.
+
+The real NWQ-Sim distributes the state vector over GPUs with
+MPI/NVSHMEM.  Here every rank's data lives in one process, but all
+inter-rank data movement is *routed through* ``SimComm`` using an
+mpi4py-like buffer interface (pairwise ``exchange``, ``allreduce``,
+``gather``), so
+
+* the distributed algorithm is expressed exactly as it would be with
+  mpi4py (ranks only touch their own slice + explicitly received
+  buffers), and
+* every message and byte is tallied, which the performance model
+  (``repro.hpc.perfmodel``) converts into simulated wall-clock for the
+  scaling studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["CommStats", "SimComm"]
+
+
+@dataclass
+class CommStats:
+    """Aggregate communication counters."""
+
+    point_to_point_messages: int = 0
+    point_to_point_bytes: int = 0
+    allreduce_calls: int = 0
+    allreduce_bytes: int = 0
+    gather_calls: int = 0
+    gather_bytes: int = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.point_to_point_bytes + self.allreduce_bytes + self.gather_bytes
+
+    def reset(self) -> None:
+        self.point_to_point_messages = 0
+        self.point_to_point_bytes = 0
+        self.allreduce_calls = 0
+        self.allreduce_bytes = 0
+        self.gather_calls = 0
+        self.gather_bytes = 0
+
+
+class SimComm:
+    """A communicator over ``num_ranks`` simulated ranks."""
+
+    def __init__(self, num_ranks: int):
+        if num_ranks < 1 or (num_ranks & (num_ranks - 1)) != 0:
+            raise ValueError("num_ranks must be a power of two")
+        self.num_ranks = num_ranks
+        self.stats = CommStats()
+
+    # -- point to point ---------------------------------------------------------
+
+    def exchange(
+        self, buffers: Sequence[Optional[np.ndarray]], partners: Sequence[int]
+    ) -> List[Optional[np.ndarray]]:
+        """Pairwise sendrecv: rank k sends ``buffers[k]`` to
+        ``partners[k]`` and receives what its partner sent.
+
+        Partnerships must be symmetric (partners[partners[k]] == k).
+        ``None`` buffers mean the rank sits out this round.
+        """
+        if len(buffers) != self.num_ranks or len(partners) != self.num_ranks:
+            raise ValueError("one buffer and partner per rank required")
+        received: List[Optional[np.ndarray]] = [None] * self.num_ranks
+        for k, (buf, p) in enumerate(zip(buffers, partners)):
+            if buf is None:
+                continue
+            if p == k:
+                received[k] = buf
+                continue
+            if partners[p] != k:
+                raise ValueError(f"asymmetric partnership: {k}->{p}, {p}->{partners[p]}")
+            received[p] = buf
+            self.stats.point_to_point_messages += 1
+            self.stats.point_to_point_bytes += buf.nbytes
+        return received
+
+    # -- collectives ----------------------------------------------------------------
+
+    def allreduce(self, values: Sequence[complex]) -> complex:
+        """Sum a per-rank scalar across ranks (tree allreduce model)."""
+        if len(values) != self.num_ranks:
+            raise ValueError("one value per rank required")
+        total = complex(np.sum(np.asarray(values, dtype=np.complex128)))
+        self.stats.allreduce_calls += 1
+        # tree: 2 * log2(R) scalar messages of 16 bytes
+        rounds = max(1, int(np.log2(self.num_ranks))) if self.num_ranks > 1 else 0
+        self.stats.allreduce_bytes += 16 * 2 * rounds * max(1, self.num_ranks // 2)
+        return total
+
+    def allreduce_array(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Elementwise-sum arrays across ranks."""
+        if len(arrays) != self.num_ranks:
+            raise ValueError("one array per rank required")
+        out = np.sum(np.stack(arrays), axis=0)
+        self.stats.allreduce_calls += 1
+        rounds = max(1, int(np.log2(self.num_ranks))) if self.num_ranks > 1 else 0
+        self.stats.allreduce_bytes += out.nbytes * 2 * rounds
+        return out
+
+    def gather(self, slices: Sequence[np.ndarray]) -> np.ndarray:
+        """Concatenate per-rank slices on a (virtual) root."""
+        if len(slices) != self.num_ranks:
+            raise ValueError("one slice per rank required")
+        out = np.concatenate(list(slices))
+        self.stats.gather_calls += 1
+        self.stats.gather_bytes += sum(s.nbytes for s in slices[1:])
+        return out

@@ -1,0 +1,174 @@
+"""Analytic performance model for distributed statevector simulation.
+
+Statevector gate kernels are memory-bandwidth bound: one gate streams
+the full slice (read + write), so
+
+    t_gate_local = 2 * slice_bytes / mem_bandwidth + gate_overhead.
+
+A gate on a global qubit additionally exchanges half the slice with a
+partner rank:
+
+    t_exchange = net_latency + (slice_bytes / 2) / net_bandwidth.
+
+From these two costs, published machine parameters (``cluster``), and
+the gate/exchange counts of an actual circuit (or an analytic circuit
+profile), the model produces simulated wall-clock times whose
+*scaling shape* — strong-scaling knees where exchange cost overtakes
+kernel cost, weak-scaling plateaus, machine-to-machine ratios — is
+what the paper's "scalable on leading HPC systems" claim rests on.
+The tests cross-check the model's exchange counts against the real
+``DistributedStatevector`` execution engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.hpc.cluster import Machine, get_machine
+from repro.ir.circuit import Circuit
+
+__all__ = [
+    "SimulatedTime",
+    "estimate_circuit_time",
+    "count_exchanges",
+    "strong_scaling_curve",
+    "weak_scaling_curve",
+    "max_qubits_for_memory",
+]
+
+
+@dataclass
+class SimulatedTime:
+    """Decomposed simulated execution time (seconds)."""
+
+    compute: float
+    communication: float
+    num_local_gate_applications: int
+    num_exchanges: int
+    num_ranks: int
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.communication
+
+    @property
+    def communication_fraction(self) -> float:
+        return self.communication / self.total if self.total > 0 else 0.0
+
+
+def count_exchanges(circuit: Circuit, num_qubits: int, num_ranks: int) -> int:
+    """Exchanges the relocation strategy performs for this circuit.
+
+    Replays the layout bookkeeping of ``DistributedStatevector``
+    (without touching amplitudes): a gate on a qubit whose current
+    physical position is global costs one exchange per such qubit.
+    """
+    r = int(math.log2(num_ranks))
+    local = num_qubits - r
+    layout = list(range(num_qubits))
+    cursor = 0
+    exchanges = 0
+    for gate in circuit.gates:
+        involved = set(gate.qubits)
+        for q in gate.qubits:
+            if layout[q] >= local:
+                inv = {p: ql for ql, p in enumerate(layout)}
+                victim = None
+                for _ in range(local):
+                    cand = cursor % local
+                    cursor += 1
+                    if inv[cand] not in involved:
+                        victim = cand
+                        break
+                assert victim is not None
+                ql = inv[victim]  # logical qubit currently in the victim slot
+                layout[ql], layout[q] = layout[q], victim
+                exchanges += 1
+    return exchanges
+
+
+def estimate_circuit_time(
+    circuit_or_gates,
+    num_qubits: int,
+    num_ranks: int,
+    machine: "Machine | str" = "perlmutter",
+    exchanges: Optional[int] = None,
+) -> SimulatedTime:
+    """Simulated wall-clock for one circuit execution.
+
+    ``circuit_or_gates`` is either a :class:`Circuit` (exchanges are
+    counted by replaying the layout) or an integer gate count (then
+    ``exchanges`` must be given or is estimated as gates * r / n —
+    the fraction of gate targets that land on global qubits under a
+    uniform-target model).
+    """
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    r = int(math.log2(num_ranks))
+    if num_ranks != 1 << r:
+        raise ValueError("num_ranks must be a power of two")
+    if isinstance(circuit_or_gates, Circuit):
+        num_gates = len(circuit_or_gates)
+        if exchanges is None:
+            exchanges = (
+                count_exchanges(circuit_or_gates, num_qubits, num_ranks)
+                if num_ranks > 1
+                else 0
+            )
+    else:
+        num_gates = int(circuit_or_gates)
+        if exchanges is None:
+            exchanges = int(num_gates * r / max(num_qubits, 1)) if r else 0
+
+    slice_bytes = (1 << (num_qubits - r)) * 16
+    t_gate = 2.0 * slice_bytes / machine.mem_bandwidth + machine.gate_overhead
+    t_exch = machine.net_latency + (slice_bytes / 2.0) / machine.net_bandwidth
+    return SimulatedTime(
+        compute=num_gates * t_gate,
+        communication=exchanges * t_exch,
+        num_local_gate_applications=num_gates,
+        num_exchanges=exchanges,
+        num_ranks=num_ranks,
+    )
+
+
+def max_qubits_for_memory(machine: "Machine | str", num_ranks: int = 1) -> int:
+    """Largest register a machine partition can hold (Fig. 1c logic)."""
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    total = machine.device_memory * num_ranks
+    n = 0
+    while (1 << (n + 1)) * 16 <= total:
+        n += 1
+    return n
+
+
+def strong_scaling_curve(
+    num_qubits: int,
+    num_gates: int,
+    ranks: Sequence[int],
+    machine: "Machine | str" = "perlmutter",
+) -> Dict[int, SimulatedTime]:
+    """Fixed problem, growing partition: the strong-scaling sweep."""
+    return {
+        R: estimate_circuit_time(num_gates, num_qubits, R, machine) for R in ranks
+    }
+
+
+def weak_scaling_curve(
+    base_qubits: int,
+    num_gates: int,
+    ranks: Sequence[int],
+    machine: "Machine | str" = "perlmutter",
+) -> Dict[int, SimulatedTime]:
+    """Problem grows with the partition (one extra qubit per rank
+    doubling): the weak-scaling sweep — the regime that motivates
+    distributed simulation in the first place (each rank's slice stays
+    constant while total capacity doubles)."""
+    out = {}
+    for R in ranks:
+        n = base_qubits + int(math.log2(R))
+        out[R] = estimate_circuit_time(num_gates, n, R, machine)
+    return out

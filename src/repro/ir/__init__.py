@@ -1,0 +1,40 @@
+"""Circuit IR, gate library, Pauli algebra, QASM I/O, compiler passes.
+
+This subpackage plays the role the XACC framework plays in the paper:
+the hardware-agnostic program representation sitting between algorithm
+generators (ansatz builders, observable construction) and execution
+backends (the simulators in ``repro.sim`` / ``repro.hpc``).
+"""
+
+from repro.ir.circuit import Circuit
+from repro.ir.library import (
+    controlled_evolution,
+    controlled_pauli_exponential,
+    ghz,
+    hardware_efficient_ansatz,
+    inverse_qft,
+    qft,
+    trotter_evolution,
+)
+from repro.ir.gates import GATE_SET, Gate, Parameter, gate_matrix
+from repro.ir.pauli import PauliString, PauliSum
+from repro.ir.qasm import from_qasm, to_qasm
+
+__all__ = [
+    "Circuit",
+    "Gate",
+    "Parameter",
+    "GATE_SET",
+    "gate_matrix",
+    "PauliString",
+    "PauliSum",
+    "from_qasm",
+    "to_qasm",
+    "qft",
+    "inverse_qft",
+    "ghz",
+    "hardware_efficient_ansatz",
+    "trotter_evolution",
+    "controlled_evolution",
+    "controlled_pauli_exponential",
+]

@@ -1,0 +1,313 @@
+"""Gate library: instruction type plus matrix definitions.
+
+This is the gate set the circuit IR (``repro.ir.circuit``) is built
+from and the simulator (``repro.sim``) executes.  It mirrors the native
+gate set of NWQ-Sim: the usual one-qubit Cliffords and rotations, plus
+two-qubit entanglers, plus opaque fused unitaries produced by the gate
+fusion pass (``repro.sim.fusion``).
+
+Matrices use the little-endian qubit convention shared with
+``repro.utils.bitops``: for a two-qubit gate acting on ``(q0, q1)`` the
+matrix is indexed by ``b1 b0`` (bit of ``q1`` is the high bit).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "Gate",
+    "Parameter",
+    "GATE_SET",
+    "gate_matrix",
+    "standard_gate",
+    "I2",
+    "X",
+    "Y",
+    "Z",
+    "H",
+    "S",
+    "SDG",
+    "T",
+    "TDG",
+    "SX",
+]
+
+# ---------------------------------------------------------------------------
+# Constant matrices
+# ---------------------------------------------------------------------------
+
+I2 = np.eye(2, dtype=np.complex128)
+X = np.array([[0, 1], [1, 0]], dtype=np.complex128)
+Y = np.array([[0, -1j], [1j, 0]], dtype=np.complex128)
+Z = np.array([[1, 0], [0, -1]], dtype=np.complex128)
+H = np.array([[1, 1], [1, -1]], dtype=np.complex128) / math.sqrt(2.0)
+S = np.array([[1, 0], [0, 1j]], dtype=np.complex128)
+SDG = S.conj().T
+T = np.array([[1, 0], [0, np.exp(1j * math.pi / 4)]], dtype=np.complex128)
+TDG = T.conj().T
+SX = 0.5 * np.array([[1 + 1j, 1 - 1j], [1 - 1j, 1 + 1j]], dtype=np.complex128)
+
+
+def _rx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -1j * s], [-1j * s, c]], dtype=np.complex128)
+
+
+def _ry(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array([[c, -s], [s, c]], dtype=np.complex128)
+
+
+def _rz(theta: float) -> np.ndarray:
+    e = np.exp(-0.5j * theta)
+    return np.array([[e, 0], [0, e.conjugate()]], dtype=np.complex128)
+
+
+def _p(lam: float) -> np.ndarray:
+    return np.array([[1, 0], [0, np.exp(1j * lam)]], dtype=np.complex128)
+
+
+def _u3(theta: float, phi: float, lam: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), math.sin(theta / 2)
+    return np.array(
+        [
+            [c, -np.exp(1j * lam) * s],
+            [np.exp(1j * phi) * s, np.exp(1j * (phi + lam)) * c],
+        ],
+        dtype=np.complex128,
+    )
+
+
+# Two-qubit matrices, little-endian on (q0, q1): basis order 00, 01, 10, 11
+# where the *left* bit is q1. CX below is "control = q0, target = q1".
+def _cx() -> np.ndarray:
+    m = np.eye(4, dtype=np.complex128)
+    # control is qubit0 (low bit): states 01 (q0=1,q1=0) and 11 swap q1.
+    m[[1, 3]] = m[[3, 1]]
+    return m
+
+
+def _cz() -> np.ndarray:
+    m = np.eye(4, dtype=np.complex128)
+    m[3, 3] = -1
+    return m
+
+
+def _swap() -> np.ndarray:
+    m = np.eye(4, dtype=np.complex128)
+    m[[1, 2]] = m[[2, 1]]
+    return m
+
+
+def _rzz(theta: float) -> np.ndarray:
+    e = np.exp(-0.5j * theta)
+    return np.diag([e, e.conjugate(), e.conjugate(), e]).astype(np.complex128)
+
+
+def _rxx(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), -1j * math.sin(theta / 2)
+    m = np.eye(4, dtype=np.complex128) * c
+    m[0, 3] = m[3, 0] = m[1, 2] = m[2, 1] = s
+    return m
+
+
+def _ryy(theta: float) -> np.ndarray:
+    c, s = math.cos(theta / 2), 1j * math.sin(theta / 2)
+    m = np.eye(4, dtype=np.complex128) * c
+    m[0, 3] = m[3, 0] = s
+    m[1, 2] = m[2, 1] = -s
+    return m
+
+
+def _cp(lam: float) -> np.ndarray:
+    m = np.eye(4, dtype=np.complex128)
+    m[3, 3] = np.exp(1j * lam)
+    return m
+
+
+def _crz(theta: float) -> np.ndarray:
+    e = np.exp(-0.5j * theta)
+    return np.diag([1, e, 1, e.conjugate()]).astype(np.complex128)
+
+
+# ---------------------------------------------------------------------------
+# Gate registry
+# ---------------------------------------------------------------------------
+
+#: name -> (num_qubits, num_params, matrix factory)
+GATE_SET: Dict[str, Tuple[int, int, Callable[..., np.ndarray]]] = {
+    "i": (1, 0, lambda: I2),
+    "x": (1, 0, lambda: X),
+    "y": (1, 0, lambda: Y),
+    "z": (1, 0, lambda: Z),
+    "h": (1, 0, lambda: H),
+    "s": (1, 0, lambda: S),
+    "sdg": (1, 0, lambda: SDG),
+    "t": (1, 0, lambda: T),
+    "tdg": (1, 0, lambda: TDG),
+    "sx": (1, 0, lambda: SX),
+    "rx": (1, 1, _rx),
+    "ry": (1, 1, _ry),
+    "rz": (1, 1, _rz),
+    "p": (1, 1, _p),
+    "u3": (1, 3, _u3),
+    "cx": (2, 0, _cx),
+    "cz": (2, 0, _cz),
+    "swap": (2, 0, _swap),
+    "rzz": (2, 1, _rzz),
+    "rxx": (2, 1, _rxx),
+    "ryy": (2, 1, _ryy),
+    "cp": (2, 1, _cp),
+    "crz": (2, 1, _crz),
+}
+
+
+class Parameter:
+    """Symbolic circuit parameter, resolved at bind time.
+
+    Supports the affine arithmetic needed by ansatz builders
+    (``c * p`` and ``p + offset``), which covers trotterized Pauli
+    exponentials where one variational parameter feeds many rotation
+    angles with different coefficients.
+    """
+
+    __slots__ = ("name", "coeff", "offset")
+
+    def __init__(self, name: str, coeff: float = 1.0, offset: float = 0.0):
+        self.name = name
+        self.coeff = float(coeff)
+        self.offset = float(offset)
+
+    def __mul__(self, other: float) -> "Parameter":
+        return Parameter(self.name, self.coeff * float(other), self.offset * float(other))
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Parameter":
+        return self * -1.0
+
+    def __add__(self, other: float) -> "Parameter":
+        return Parameter(self.name, self.coeff, self.offset + float(other))
+
+    __radd__ = __add__
+
+    def bind(self, value: float) -> float:
+        return self.coeff * float(value) + self.offset
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name!r}, coeff={self.coeff}, offset={self.offset})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Parameter)
+            and (self.name, self.coeff, self.offset)
+            == (other.name, other.coeff, other.offset)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.coeff, self.offset))
+
+
+ParamValue = Union[float, Parameter]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate instruction: a name, target qubits, and parameters.
+
+    ``matrix`` is an optional explicit unitary used for opaque gates
+    (gate fusion emits ``unitary1``/``unitary2`` instructions whose
+    matrices are not derivable from a name + angles).
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[ParamValue, ...] = ()
+    matrix: Optional[np.ndarray] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.matrix is None and self.name not in GATE_SET:
+            raise ValueError(f"unknown gate {self.name!r} without explicit matrix")
+        if self.matrix is None:
+            nq, npar, _ = GATE_SET[self.name]
+            if len(self.qubits) != nq:
+                raise ValueError(
+                    f"gate {self.name!r} expects {nq} qubits, got {self.qubits}"
+                )
+            if len(self.params) != npar:
+                raise ValueError(
+                    f"gate {self.name!r} expects {npar} params, got {len(self.params)}"
+                )
+        if len(set(self.qubits)) != len(self.qubits):
+            raise ValueError(f"duplicate qubits in gate {self.name!r}: {self.qubits}")
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+    @property
+    def is_parameterized(self) -> bool:
+        return any(isinstance(p, Parameter) for p in self.params)
+
+    def bound(self, values: Dict[str, float]) -> "Gate":
+        """Return a copy with symbolic parameters replaced by floats."""
+        if not self.is_parameterized:
+            return self
+        new_params = tuple(
+            p.bind(values[p.name]) if isinstance(p, Parameter) else p
+            for p in self.params
+        )
+        return Gate(self.name, self.qubits, new_params, self.matrix)
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense unitary of this gate on its own qubits (little-endian)."""
+        if self.matrix is not None:
+            return self.matrix
+        if self.is_parameterized:
+            raise ValueError(f"cannot build matrix of unbound gate {self.name!r}")
+        _, _, factory = GATE_SET[self.name]
+        return factory(*[float(p) for p in self.params])
+
+    def dagger(self) -> "Gate":
+        """Inverse gate."""
+        inverses = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
+        if self.name in inverses:
+            return Gate(inverses[self.name], self.qubits)
+        if self.name in ("i", "x", "y", "z", "h", "cx", "cz", "swap"):
+            return self
+        if self.name in ("rx", "ry", "rz", "p", "rzz", "rxx", "ryy", "cp", "crz"):
+            (theta,) = self.params
+            neg = -theta if isinstance(theta, Parameter) else -float(theta)
+            return Gate(self.name, self.qubits, (neg,))
+        if self.name == "u3":
+            th, ph, lam = self.params
+            if self.is_parameterized:
+                raise ValueError("cannot invert unbound u3 symbolically")
+            return Gate("u3", self.qubits, (-float(th), -float(lam), -float(ph)))
+        return Gate(
+            self.name + "_dg", self.qubits, (), self.to_matrix().conj().T
+        )
+
+    def __repr__(self) -> str:
+        ps = ", ".join(repr(p) for p in self.params)
+        return f"{self.name}({ps}) q{list(self.qubits)}"
+
+
+def standard_gate(name: str, qubits: Sequence[int], *params: ParamValue) -> Gate:
+    """Convenience constructor for registry gates."""
+    return Gate(name, tuple(qubits), tuple(params))
+
+
+def gate_matrix(name: str, *params: float) -> np.ndarray:
+    """Dense matrix for a named gate with concrete parameters."""
+    if name not in GATE_SET:
+        raise KeyError(name)
+    _, npar, factory = GATE_SET[name]
+    if len(params) != npar:
+        raise ValueError(f"{name} expects {npar} params")
+    return factory(*params)

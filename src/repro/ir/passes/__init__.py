@@ -1,0 +1,35 @@
+"""Compiler passes over the circuit IR.
+
+These play the role of XACC's IR transformations (and the SABRE-style
+routing the paper cites in §6.1): local gate cancellation, rotation
+merging, single-qubit-run resynthesis, and connectivity-aware SWAP
+routing.  Gate *fusion* — the simulator-side optimization of §4.3 —
+lives with the simulator in ``repro.sim.fusion`` because it produces
+opaque unitaries only a simulator can execute.
+"""
+
+from repro.ir.passes.base import Pass, PassManager
+from repro.ir.passes.cancellation import CancelAdjacentInverses, MergeRotations
+from repro.ir.passes.resynth import ResynthesizeSingleQubitRuns
+from repro.ir.passes.routing import SabreRouter
+
+__all__ = [
+    "Pass",
+    "PassManager",
+    "CancelAdjacentInverses",
+    "MergeRotations",
+    "ResynthesizeSingleQubitRuns",
+    "SabreRouter",
+    "default_pass_manager",
+]
+
+
+def default_pass_manager() -> PassManager:
+    """The standard optimization pipeline applied before simulation."""
+    return PassManager(
+        [
+            CancelAdjacentInverses(),
+            MergeRotations(),
+            CancelAdjacentInverses(),
+        ]
+    )

@@ -1,0 +1,41 @@
+"""Pass infrastructure: a pass maps Circuit -> Circuit."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable, List
+
+from repro.ir.circuit import Circuit
+
+__all__ = ["Pass", "PassManager"]
+
+
+class Pass(ABC):
+    """A circuit-to-circuit transformation that must preserve the
+    implemented unitary (up to global phase)."""
+
+    @abstractmethod
+    def run(self, circuit: Circuit) -> Circuit:
+        """Return the transformed circuit (must not mutate the input)."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class PassManager:
+    """Runs a pipeline of passes, optionally iterating to a fixed point."""
+
+    def __init__(self, passes: Iterable[Pass], max_iterations: int = 8):
+        self.passes: List[Pass] = list(passes)
+        self.max_iterations = max_iterations
+
+    def run(self, circuit: Circuit, to_fixed_point: bool = True) -> Circuit:
+        current = circuit
+        for _ in range(self.max_iterations if to_fixed_point else 1):
+            before = len(current)
+            for p in self.passes:
+                current = p.run(current)
+            if not to_fixed_point or len(current) == before:
+                break
+        return current

@@ -1,0 +1,126 @@
+"""OpenQASM 2 emission and parsing for the circuit IR.
+
+Gives the framework the same interoperability role XACC's compiler
+frontends serve: circuits can be exported for other toolchains and
+simple QASM programs can be ingested.  Only the gate set of
+``repro.ir.gates`` is supported; symbolic parameters are not
+serializable (bind first).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import List
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import GATE_SET, Gate
+
+__all__ = ["to_qasm", "from_qasm"]
+
+_HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+# Gates QASM2/qelib1 knows natively; others are emitted via decomposition.
+_NATIVE = {
+    "x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx",
+    "rx", "ry", "rz", "p", "u3", "cx", "cz", "swap", "cp", "crz",
+}
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialize a bound circuit to OpenQASM 2."""
+    lines: List[str] = [_HEADER, f"qreg q[{circuit.num_qubits}];"]
+    for g in circuit.gates:
+        if g.is_parameterized:
+            raise ValueError("bind parameters before exporting to QASM")
+        lines.extend(_emit(g))
+    return "\n".join(lines) + "\n"
+
+
+def _fmt(x: float) -> str:
+    return repr(float(x))
+
+
+def _emit(g: Gate) -> List[str]:
+    qs = ",".join(f"q[{q}]" for q in g.qubits)
+    if g.name in _NATIVE:
+        if g.params:
+            ps = ",".join(_fmt(float(p)) for p in g.params)
+            return [f"{g.name}({ps}) {qs};"]
+        return [f"{g.name} {qs};"]
+    if g.name == "i":
+        return [f"id {qs};"]
+    if g.name == "rzz":
+        (theta,) = g.params
+        a, b = g.qubits
+        return [
+            f"cx q[{a}],q[{b}];",
+            f"rz({_fmt(float(theta))}) q[{b}];",
+            f"cx q[{a}],q[{b}];",
+        ]
+    if g.name == "rxx":
+        (theta,) = g.params
+        a, b = g.qubits
+        return (
+            [f"h q[{a}];", f"h q[{b}];"]
+            + _emit(Gate("rzz", g.qubits, g.params))
+            + [f"h q[{a}];", f"h q[{b}];"]
+        )
+    if g.name == "ryy":
+        (theta,) = g.params
+        a, b = g.qubits
+        pre = [f"sdg q[{a}];", f"h q[{a}];", f"sdg q[{b}];", f"h q[{b}];"]
+        post = [f"h q[{a}];", f"s q[{a}];", f"h q[{b}];", f"s q[{b}];"]
+        return pre + _emit(Gate("rzz", g.qubits, g.params)) + post
+    raise ValueError(f"gate {g.name!r} has no QASM form (fuse-produced unitaries "
+                     "must be decomposed or kept internal)")
+
+
+_GATE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\((?P<params>[^)]*)\))?\s+"
+    r"(?P<args>q\[\d+\](?:\s*,\s*q\[\d+\])*)\s*;\s*$"
+)
+_QREG_RE = re.compile(r"^qreg\s+q\[(\d+)\]\s*;\s*$")
+_ARG_RE = re.compile(r"q\[(\d+)\]")
+
+
+def _eval_param(expr: str) -> float:
+    """Evaluate a QASM parameter expression (numbers, pi, + - * /)."""
+    expr = expr.strip().replace("pi", repr(math.pi))
+    if not re.fullmatch(r"[0-9eE+\-*/. ()]+", expr):
+        raise ValueError(f"unsupported parameter expression: {expr!r}")
+    return float(eval(expr, {"__builtins__": {}}))  # noqa: S307 - sanitized
+
+
+def from_qasm(text: str) -> Circuit:
+    """Parse a (subset of) OpenQASM 2 program back to a circuit."""
+    circuit: Circuit | None = None
+    for raw in text.splitlines():
+        line = raw.split("//")[0].strip()
+        if not line or line.startswith(("OPENQASM", "include", "creg", "barrier")):
+            continue
+        m = _QREG_RE.match(line)
+        if m:
+            circuit = Circuit(int(m.group(1)))
+            continue
+        m = _GATE_RE.match(line)
+        if not m:
+            raise ValueError(f"cannot parse QASM line: {raw!r}")
+        if circuit is None:
+            raise ValueError("gate before qreg declaration")
+        name = m.group("name").lower()
+        if name == "id":
+            name = "i"
+        if name == "measure":
+            continue
+        if name not in GATE_SET:
+            raise ValueError(f"unsupported QASM gate {name!r}")
+        params = tuple(
+            _eval_param(p) for p in (m.group("params") or "").split(",") if p.strip()
+        )
+        qubits = tuple(int(q) for q in _ARG_RE.findall(m.group("args")))
+        circuit.append(Gate(name, qubits, params))
+    if circuit is None:
+        raise ValueError("no qreg declaration found")
+    return circuit

@@ -1,0 +1,117 @@
+"""Adam and plain gradient descent on analytic VQE gradients."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.opt.base import OptimizeResult, Optimizer
+
+__all__ = ["Adam", "GradientDescent"]
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with gradient-norm stopping.
+
+    Requires an analytic gradient callback — the VQE driver provides
+    adjoint-mode or parameter-shift gradients (``repro.opt.gradient``).
+    """
+
+    def __init__(
+        self,
+        max_iterations: int = 500,
+        learning_rate: float = 0.05,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        gtol: float = 1e-7,
+    ):
+        self.max_iterations = max_iterations
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.gtol = gtol
+
+    def minimize(
+        self,
+        fun: Callable[[np.ndarray], float],
+        x0: np.ndarray,
+        gradient: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> OptimizeResult:
+        if gradient is None:
+            raise ValueError("Adam requires a gradient callback")
+        x = np.asarray(x0, dtype=float).copy()
+        m = np.zeros_like(x)
+        v = np.zeros_like(x)
+        nfev = 0
+        history: List[float] = []
+        converged = False
+        it = 0
+        for it in range(1, self.max_iterations + 1):
+            g = np.asarray(gradient(x))
+            nfev += 1
+            if np.linalg.norm(g) < self.gtol:
+                converged = True
+                break
+            m = self.beta1 * m + (1 - self.beta1) * g
+            v = self.beta2 * v + (1 - self.beta2) * g * g
+            mhat = m / (1 - self.beta1 ** it)
+            vhat = v / (1 - self.beta2 ** it)
+            x = x - self.learning_rate * mhat / (np.sqrt(vhat) + self.eps)
+            history.append(float(fun(x)))
+            nfev += 1
+        return OptimizeResult(
+            x=x,
+            fun=float(fun(x)),
+            nfev=nfev + 1,
+            nit=it,
+            converged=converged,
+            history=history,
+        )
+
+
+class GradientDescent(Optimizer):
+    """Plain gradient descent with fixed step (teaching baseline)."""
+
+    def __init__(
+        self,
+        max_iterations: int = 1000,
+        learning_rate: float = 0.1,
+        gtol: float = 1e-7,
+    ):
+        self.max_iterations = max_iterations
+        self.learning_rate = learning_rate
+        self.gtol = gtol
+
+    def minimize(
+        self,
+        fun: Callable[[np.ndarray], float],
+        x0: np.ndarray,
+        gradient: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> OptimizeResult:
+        if gradient is None:
+            raise ValueError("GradientDescent requires a gradient callback")
+        x = np.asarray(x0, dtype=float).copy()
+        nfev = 0
+        history: List[float] = []
+        converged = False
+        it = 0
+        for it in range(1, self.max_iterations + 1):
+            g = np.asarray(gradient(x))
+            nfev += 1
+            if np.linalg.norm(g) < self.gtol:
+                converged = True
+                break
+            x = x - self.learning_rate * g
+            history.append(float(fun(x)))
+            nfev += 1
+        return OptimizeResult(
+            x=x,
+            fun=float(fun(x)),
+            nfev=nfev + 1,
+            nit=it,
+            converged=converged,
+            history=history,
+        )

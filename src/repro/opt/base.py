@@ -1,0 +1,50 @@
+"""Optimizer interface shared by the VQE drivers."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+__all__ = ["OptimizeResult", "Optimizer"]
+
+EnergyFn = Callable[[np.ndarray], float]
+GradientFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class OptimizeResult:
+    """Outcome of a classical minimization."""
+
+    x: np.ndarray
+    fun: float
+    nfev: int
+    nit: int
+    converged: bool
+    history: List[float] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimizeResult(fun={self.fun:.8f}, nfev={self.nfev}, "
+            f"nit={self.nit}, converged={self.converged})"
+        )
+
+
+class Optimizer(ABC):
+    """A classical minimizer of a scalar function of real parameters.
+
+    ``gradient`` is optional; gradient-based optimizers raise if the
+    caller cannot supply one (the VQE driver wires in parameter-shift
+    or adjoint gradients automatically when available).
+    """
+
+    @abstractmethod
+    def minimize(
+        self,
+        fun: EnergyFn,
+        x0: np.ndarray,
+        gradient: Optional[GradientFn] = None,
+    ) -> OptimizeResult:
+        """Minimize ``fun`` starting from ``x0``."""

@@ -1,0 +1,120 @@
+"""Gradients for product-of-exponentials ansatze.
+
+``AnsatzObjective`` binds (reference state, generator list, observable)
+into an energy function plus two gradient modes:
+
+* **adjoint** — the reverse-mode statevector gradient: one forward
+  evolution plus one backward sweep yields the full gradient at a cost
+  of ~3 evolutions total, independent of parameter count.  This is the
+  simulator-only trick that makes the classical optimization loop
+  (paper §6.2's acknowledged bottleneck) tractable at scale.
+* **finite difference** — central differences; used as the reference
+  implementation in tests and as a fallback for non-product ansatze.
+
+Derivation of the adjoint sweep for E(theta) = <ref|U^dag H U|ref>,
+U = U_m ... U_1, U_k = exp(theta_k A_k):
+
+    dE/dtheta_k = 2 Re <lambda_k| A_k |phi_k>,
+    phi_k = U_k ... U_1 |ref>,   lambda_k = U_{k+1}^dag ... U_m^dag H U |ref>,
+
+computed by one backward pass applying U_k^dag to both vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.pauli import PauliSum
+from repro.sim.evolution import GeneratorEvolution
+
+__all__ = ["AnsatzObjective", "finite_difference_gradient"]
+
+
+def finite_difference_gradient(
+    fun: Callable[[np.ndarray], float], x: np.ndarray, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient (2m evaluations)."""
+    x = np.asarray(x, dtype=float)
+    grad = np.zeros_like(x)
+    for k in range(x.size):
+        step = np.zeros_like(x)
+        step[k] = eps
+        grad[k] = (fun(x + step) - fun(x - step)) / (2.0 * eps)
+    return grad
+
+
+class AnsatzObjective:
+    """Energy and analytic gradient of a product-of-exponentials ansatz.
+
+    Parameters
+    ----------
+    reference_state:
+        Dense statevector the ansatz starts from (e.g. Hartree–Fock).
+    generators:
+        Anti-Hermitian ``PauliSum`` generators; parameter k multiplies
+        generator k.
+    hamiltonian:
+        Hermitian observable.
+    """
+
+    def __init__(
+        self,
+        reference_state: np.ndarray,
+        generators: Sequence[PauliSum],
+        hamiltonian: PauliSum,
+    ):
+        self.reference = np.asarray(reference_state, dtype=np.complex128)
+        self.hamiltonian = hamiltonian
+        self.evolutions = [GeneratorEvolution(g) for g in generators]
+        self.num_parameters = len(self.evolutions)
+        self.energy_evaluations = 0
+        self.gradient_evaluations = 0
+
+    def prepare_state(self, params: np.ndarray) -> np.ndarray:
+        """|psi(theta)> = prod_k exp(theta_k A_k) |ref> (k ascending)."""
+        if len(params) != self.num_parameters:
+            raise ValueError("parameter count mismatch")
+        state = self.reference.copy()
+        for theta, ev in zip(params, self.evolutions):
+            state = ev.apply(state, float(theta))
+        return state
+
+    def energy(self, params: np.ndarray) -> float:
+        self.energy_evaluations += 1
+        state = self.prepare_state(np.asarray(params, dtype=float))
+        val = self.hamiltonian.expectation(state)
+        return float(val.real)
+
+    def gradient(self, params: np.ndarray) -> np.ndarray:
+        """Adjoint-mode gradient: O(1) extra evolutions, exact."""
+        self.gradient_evaluations += 1
+        params = np.asarray(params, dtype=float)
+        psi = self.prepare_state(params)
+        lam = self.hamiltonian.apply(psi)
+        phi = psi
+        grad = np.zeros(self.num_parameters)
+        for k in range(self.num_parameters - 1, -1, -1):
+            ev = self.evolutions[k]
+            grad[k] = 2.0 * np.real(np.vdot(lam, ev.apply_generator(phi)))
+            phi = ev.apply(phi, -params[k])
+            lam = ev.apply(lam, -params[k])
+        return grad
+
+    def energy_and_gradient(self, params: np.ndarray):
+        """Single-pass convenience for optimizers wanting both."""
+        params = np.asarray(params, dtype=float)
+        psi = self.prepare_state(params)
+        lam = self.hamiltonian.apply(psi)
+        energy = float(np.real(np.vdot(psi, lam)))
+        phi = psi
+        grad = np.zeros(self.num_parameters)
+        for k in range(self.num_parameters - 1, -1, -1):
+            ev = self.evolutions[k]
+            grad[k] = 2.0 * np.real(np.vdot(lam, ev.apply_generator(phi)))
+            phi = ev.apply(phi, -params[k])
+            lam = ev.apply(lam, -params[k])
+        self.energy_evaluations += 1
+        self.gradient_evaluations += 1
+        return energy, grad

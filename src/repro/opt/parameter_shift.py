@@ -1,0 +1,148 @@
+"""Parameter-shift gradients for circuit-mode VQE.
+
+For a rotation gate exp(-i theta G / 2) whose generator G squares to
+the identity (RX/RY/RZ/RZZ/RXX/RYY; the phase gate reduces to RZ up to
+a global phase), the exact derivative is
+
+    dE/dtheta = [E(theta + pi/2) - E(theta - pi/2)] / 2.
+
+This is the gradient a *hardware* backend can evaluate — no state
+access needed — and complements the simulator-only adjoint gradients
+of ``repro.opt.gradient``.  The rule requires each named parameter to
+appear in exactly one eligible rotation; ansatze like
+``repro.ir.library.hardware_efficient_ansatz`` satisfy this by
+construction, while trotterized UCCSD (one parameter feeding many
+rotations) does not — those use the adjoint path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Parameter
+from repro.ir.pauli import PauliSum
+
+__all__ = [
+    "parameter_shift_gradient",
+    "supports_parameter_shift",
+    "batched_parameter_shift_gradient",
+]
+
+_SHIFT_GATES = {"rx", "ry", "rz", "p", "rzz", "rxx", "ryy"}
+
+
+def _parameter_occurrences(circuit: Circuit) -> Dict[str, List[Parameter]]:
+    occ: Dict[str, List[Parameter]] = {}
+    for g in circuit.gates:
+        for p in g.params:
+            if isinstance(p, Parameter):
+                if g.name not in _SHIFT_GATES:
+                    occ.setdefault(p.name, []).append(None)  # ineligible
+                else:
+                    occ.setdefault(p.name, []).append(p)
+    return occ
+
+
+def supports_parameter_shift(circuit: Circuit) -> bool:
+    """True if every parameter appears exactly once, in a gate the
+    two-term shift rule covers."""
+    occ = _parameter_occurrences(circuit)
+    return all(len(v) == 1 and v[0] is not None for v in occ.values())
+
+
+def parameter_shift_gradient(
+    circuit: Circuit,
+    hamiltonian: PauliSum,
+    params: np.ndarray,
+    estimate: Optional[Callable[[Circuit, PauliSum], float]] = None,
+) -> np.ndarray:
+    """Exact gradient via two energy evaluations per parameter.
+
+    ``estimate`` defaults to the direct estimator; pass a sampling
+    estimator's ``estimate`` method for the hardware-faithful variant.
+    """
+    if not supports_parameter_shift(circuit):
+        raise ValueError(
+            "parameter-shift rule requires each parameter in exactly one "
+            "RX/RY/RZ/P/RZZ/RXX/RYY gate; use adjoint gradients for "
+            "product-of-exponential ansatze"
+        )
+    if estimate is None:
+        from repro.core.estimator import DirectEstimator
+
+        estimate = DirectEstimator().estimate
+
+    names = circuit.parameters
+    params = np.asarray(params, dtype=float)
+    if params.shape != (len(names),):
+        raise ValueError(f"expected {len(names)} parameters")
+    occ = _parameter_occurrences(circuit)
+    values = dict(zip(names, params))
+
+    grad = np.zeros(len(names))
+    for k, name in enumerate(names):
+        (pref,) = occ[name]
+        # gate angle = coeff * p + offset; shifting the *gate angle* by
+        # +/- pi/2 means shifting p by +/- pi / (2 coeff).
+        if pref.coeff == 0:
+            continue
+        shift = math.pi / (2.0 * pref.coeff)
+        up = dict(values)
+        up[name] = values[name] + shift
+        down = dict(values)
+        down[name] = values[name] - shift
+        e_up = estimate(circuit.bind(up), hamiltonian)
+        e_down = estimate(circuit.bind(down), hamiltonian)
+        # d(angle)/dp = coeff; chain rule restores it.
+        grad[k] = 0.5 * (e_up - e_down) * pref.coeff
+    return grad
+
+
+def batched_parameter_shift_gradient(
+    circuit: Circuit,
+    hamiltonian: PauliSum,
+    params: np.ndarray,
+) -> np.ndarray:
+    """Parameter-shift gradient with all 2m shifted evaluations run as
+    ONE batched simulation (paper §6.2 batch execution, applied to the
+    gradient workload).
+
+    Numerically identical to :func:`parameter_shift_gradient`; the
+    benchmark suite measures the batching speedup.
+    """
+    from repro.sim.batched import BatchedStatevectorSimulator
+
+    if not supports_parameter_shift(circuit):
+        raise ValueError(
+            "parameter-shift rule requires each parameter in exactly one "
+            "RX/RY/RZ/P/RZZ/RXX/RYY gate"
+        )
+    names = circuit.parameters
+    params = np.asarray(params, dtype=float)
+    if params.shape != (len(names),):
+        raise ValueError(f"expected {len(names)} parameters")
+    occ = _parameter_occurrences(circuit)
+
+    m = len(names)
+    batch = 2 * m
+    table = {name: np.full(batch, params[k]) for k, name in enumerate(names)}
+    coeffs = np.zeros(m)
+    for k, name in enumerate(names):
+        (pref,) = occ[name]
+        coeffs[k] = pref.coeff
+        if pref.coeff == 0:
+            continue
+        shift = math.pi / (2.0 * pref.coeff)
+        table[name][2 * k] += shift
+        table[name][2 * k + 1] -= shift
+
+    sim = BatchedStatevectorSimulator(circuit.num_qubits, batch)
+    sim.run(circuit, table)
+    energies = sim.expectations(hamiltonian)
+    grad = 0.5 * (energies[0::2] - energies[1::2]) * coeffs
+    grad[coeffs == 0] = 0.0
+    return grad

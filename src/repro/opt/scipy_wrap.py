@@ -1,0 +1,81 @@
+"""Adapters exposing SciPy minimizers through the Optimizer interface.
+
+COBYLA and (L-)BFGS are the optimizers the XACC VQE workflow typically
+drives; wrapping them keeps the driver code backend-agnostic while the
+self-contained optimizers (Nelder–Mead, SPSA, Adam) remain available
+where SciPy's are unsuitable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+from scipy.optimize import minimize as scipy_minimize
+
+from repro.opt.base import OptimizeResult, Optimizer
+
+__all__ = ["ScipyOptimizer", "Cobyla", "LBFGSB", "BFGS"]
+
+
+class ScipyOptimizer(Optimizer):
+    """Generic adapter around ``scipy.optimize.minimize``."""
+
+    def __init__(self, method: str, max_iterations: int = 1000, tol: float = 1e-9, **options):
+        self.method = method
+        self.max_iterations = max_iterations
+        self.tol = tol
+        self.options = options
+
+    def minimize(
+        self,
+        fun: Callable[[np.ndarray], float],
+        x0: np.ndarray,
+        gradient: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    ) -> OptimizeResult:
+        history: List[float] = []
+
+        def wrapped(x: np.ndarray) -> float:
+            val = float(fun(x))
+            history.append(val)
+            return val
+
+        options = dict(self.options)
+        options.setdefault("maxiter", self.max_iterations)
+        uses_grad = self.method.lower() in ("bfgs", "l-bfgs-b", "cg", "slsqp")
+        res = scipy_minimize(
+            wrapped,
+            np.asarray(x0, dtype=float),
+            jac=gradient if (gradient is not None and uses_grad) else None,
+            method=self.method,
+            tol=self.tol,
+            options=options,
+        )
+        return OptimizeResult(
+            x=np.asarray(res.x),
+            fun=float(res.fun),
+            nfev=int(res.nfev),
+            nit=int(getattr(res, "nit", len(history))),
+            converged=bool(res.success),
+            history=history,
+        )
+
+
+class Cobyla(ScipyOptimizer):
+    """COBYLA — the gradient-free default of many VQE stacks."""
+
+    def __init__(self, max_iterations: int = 2000, rhobeg: float = 0.5, tol: float = 1e-9):
+        super().__init__("COBYLA", max_iterations=max_iterations, tol=tol, rhobeg=rhobeg)
+
+
+class LBFGSB(ScipyOptimizer):
+    """L-BFGS-B with analytic gradients — fastest converger on
+    noiseless (direct-expectation) energy surfaces."""
+
+    def __init__(self, max_iterations: int = 1000, tol: float = 1e-10):
+        super().__init__("L-BFGS-B", max_iterations=max_iterations, tol=tol)
+
+
+class BFGS(ScipyOptimizer):
+    def __init__(self, max_iterations: int = 1000, tol: float = 1e-10):
+        super().__init__("BFGS", max_iterations=max_iterations, tol=tol)

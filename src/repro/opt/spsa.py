@@ -1,0 +1,77 @@
+"""Simultaneous Perturbation Stochastic Approximation (SPSA).
+
+Two function evaluations per iteration regardless of dimension — the
+standard choice when expectation values come from finite sampling
+(the paper's "traditional sampling" execution mode), where exact
+gradients are unavailable and full finite differences are too
+expensive.  Classic Spall gain schedules a_k = a/(k + A)^alpha,
+c_k = c/k^gamma.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.opt.base import OptimizeResult, Optimizer
+
+__all__ = ["SPSA"]
+
+
+class SPSA(Optimizer):
+    def __init__(
+        self,
+        max_iterations: int = 300,
+        a: float = 0.2,
+        c: float = 0.1,
+        alpha: float = 0.602,
+        gamma: float = 0.101,
+        stability: Optional[float] = None,
+        seed: int = 42,
+    ):
+        self.max_iterations = max_iterations
+        self.a = a
+        self.c = c
+        self.alpha = alpha
+        self.gamma = gamma
+        self.stability = stability  # Spall's A; default 10% of iterations
+        self.seed = seed
+
+    def minimize(
+        self,
+        fun: Callable[[np.ndarray], float],
+        x0: np.ndarray,
+        gradient=None,
+    ) -> OptimizeResult:
+        rng = np.random.default_rng(self.seed)
+        x = np.asarray(x0, dtype=float).copy()
+        big_a = self.stability if self.stability is not None else 0.1 * self.max_iterations
+        nfev = 0
+        history: List[float] = []
+        best_x, best_f = x.copy(), float("inf")
+        for k in range(1, self.max_iterations + 1):
+            ak = self.a / (k + big_a) ** self.alpha
+            ck = self.c / k ** self.gamma
+            delta = rng.choice([-1.0, 1.0], size=x.size)
+            f_plus = float(fun(x + ck * delta))
+            f_minus = float(fun(x - ck * delta))
+            nfev += 2
+            ghat = (f_plus - f_minus) / (2.0 * ck) * delta
+            x = x - ak * ghat
+            f_mid = min(f_plus, f_minus)
+            history.append(f_mid)
+            if f_mid < best_f:
+                best_f, best_x = f_mid, x.copy()
+        final_f = float(fun(x))
+        nfev += 1
+        if final_f < best_f:
+            best_f, best_x = final_f, x
+        return OptimizeResult(
+            x=best_x,
+            fun=best_f,
+            nfev=nfev,
+            nit=self.max_iterations,
+            converged=True,
+            history=history,
+        )

@@ -1,0 +1,124 @@
+"""Backend abstraction and registry.
+
+XACC's defining feature (§3) is hardware-agnostic execution: the same
+program runs on any registered backend.  ``Backend`` is that seam here.
+Every backend can (1) prepare the state of a circuit and (2) evaluate
+the expectation of a Pauli observable in that state, which is the
+entire contract the VQE drivers need.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.ir.circuit import Circuit
+from repro.ir.pauli import PauliSum
+
+__all__ = ["Backend", "register_backend", "get_backend", "available_backends"]
+
+
+class Backend(ABC):
+    """Execution backend contract used by the VQE/ADAPT drivers."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def expectation(self, circuit: Circuit, observable: PauliSum) -> float:
+        """<0| U^dag H U |0> for the (bound) circuit U."""
+
+    def statevector(self, circuit: Circuit) -> Optional[np.ndarray]:
+        """Full statevector if this backend exposes one (else None)."""
+        return None
+
+
+class StatevectorBackend(Backend):
+    """Single-device statevector execution with direct expectation."""
+
+    name = "statevector"
+
+    def expectation(self, circuit: Circuit, observable: PauliSum) -> float:
+        from repro.sim.expectation import expectation_direct
+        from repro.sim.statevector import StatevectorSimulator
+
+        sim = StatevectorSimulator(circuit.num_qubits)
+        state = sim.run(circuit)
+        return expectation_direct(state, observable)
+
+    def statevector(self, circuit: Circuit) -> np.ndarray:
+        from repro.sim.statevector import StatevectorSimulator
+
+        sim = StatevectorSimulator(circuit.num_qubits)
+        return sim.run(circuit).copy()
+
+
+class SampledBackend(Backend):
+    """Finite-shot estimation (the traditional baseline of §4.2.1)."""
+
+    name = "sampled"
+
+    def __init__(self, shots_per_group: int = 4096, seed: int = 1234):
+        self.shots_per_group = shots_per_group
+        self.rng = np.random.default_rng(seed)
+
+    def expectation(self, circuit: Circuit, observable: PauliSum) -> float:
+        from repro.sim.expectation import expectation_sampled
+        from repro.sim.statevector import StatevectorSimulator
+
+        sim = StatevectorSimulator(circuit.num_qubits)
+        state = sim.run(circuit)
+        return expectation_sampled(
+            state, observable, self.shots_per_group, self.rng
+        )
+
+
+class DistributedBackend(Backend):
+    """Multi-rank partitioned statevector (repro.hpc), Perlmutter-style."""
+
+    name = "distributed"
+
+    def __init__(self, num_ranks: int = 4):
+        self.num_ranks = num_ranks
+
+    def expectation(self, circuit: Circuit, observable: PauliSum) -> float:
+        from repro.hpc.distributed import DistributedStatevector
+
+        dsv = DistributedStatevector(circuit.num_qubits, self.num_ranks)
+        dsv.run(circuit)
+        return dsv.expectation(observable)
+
+    def statevector(self, circuit: Circuit) -> np.ndarray:
+        from repro.hpc.distributed import DistributedStatevector
+
+        dsv = DistributedStatevector(circuit.num_qubits, self.num_ranks)
+        dsv.run(circuit)
+        return dsv.gather()
+
+
+_REGISTRY: Dict[str, Callable[..., Backend]] = {
+    "statevector": StatevectorBackend,
+    "sampled": SampledBackend,
+    "distributed": DistributedBackend,
+}
+
+
+def register_backend(name: str, factory: Callable[..., Backend]) -> None:
+    """Register a new backend factory under ``name``."""
+    _REGISTRY[name] = factory
+
+
+def get_backend(name: str, **kwargs) -> Backend:
+    """Instantiate a backend by name (XACC-style lookup)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown backend {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_backends() -> "list[str]":
+    return sorted(_REGISTRY)

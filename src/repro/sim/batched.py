@@ -1,0 +1,222 @@
+"""Batched statevector simulation (paper §6.2, implemented).
+
+The paper lists batch execution — simulating multiple VQE circuits
+simultaneously to raise device utilization — as future work.  This
+module implements the single-device half of it: ``B`` instances of the
+*same* parameterized circuit with *different* parameter values evolve
+together as a ``(B, 2^n)`` amplitude matrix, so every gate application
+is one vectorized operation across the whole batch (the NumPy analogue
+of launching concurrent GPU kernels [cCUDA, paper ref 13]).
+
+This is exactly the workload VQE generates: parameter-shift gradients
+need ``2 m`` evaluations of one circuit at shifted angles, optimizer
+line searches need several, and parameter sweeps need hundreds.  The
+companion ``repro.opt.parameter_shift.batched_parameter_shift_gradient``
+and the batching benchmark quantify the win over one-at-a-time
+execution.
+
+Parameterized gates receive a per-batch-row angle vector; fixed gates
+broadcast one matrix over the batch.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Gate, Parameter
+from repro.ir.pauli import PauliSum
+from repro.utils.bitops import count_set_bits, insert_zero_bit
+
+__all__ = ["BatchedStatevectorSimulator"]
+
+_I_POW = (1.0 + 0j, 1j, -1.0 + 0j, -1j)
+
+
+class BatchedStatevectorSimulator:
+    """B copies of an n-qubit register evolving under one circuit
+    template with per-copy parameters."""
+
+    def __init__(self, num_qubits: int, batch_size: int):
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be >= 1")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if num_qubits > 26:
+            raise ValueError("batched mode limited to 26 qubits per instance")
+        self.num_qubits = num_qubits
+        self.batch_size = batch_size
+        self.dim = 1 << num_qubits
+        self.states = np.zeros((batch_size, self.dim), dtype=np.complex128)
+        self.states[:, 0] = 1.0
+
+    def reset(self) -> None:
+        self.states.fill(0)
+        self.states[:, 0] = 1.0
+
+    # -- gate application ---------------------------------------------------
+
+    def _indices_1q(self, q: int) -> "tuple[np.ndarray, np.ndarray]":
+        base = np.arange(1 << (self.num_qubits - 1), dtype=np.int64)
+        i0 = insert_zero_bit(base, q)
+        return i0, i0 | (1 << q)
+
+    def _apply_1q_fixed(self, m: np.ndarray, q: int) -> None:
+        i0, i1 = self._indices_1q(q)
+        a0 = self.states[:, i0]
+        a1 = self.states[:, i1]
+        self.states[:, i0] = m[0, 0] * a0 + m[0, 1] * a1
+        self.states[:, i1] = m[1, 0] * a0 + m[1, 1] * a1
+
+    def _apply_1q_batched(self, ms: np.ndarray, q: int) -> None:
+        """ms has shape (B, 2, 2): a distinct 1q matrix per batch row."""
+        i0, i1 = self._indices_1q(q)
+        a0 = self.states[:, i0]
+        a1 = self.states[:, i1]
+        self.states[:, i0] = ms[:, 0, 0, None] * a0 + ms[:, 0, 1, None] * a1
+        self.states[:, i1] = ms[:, 1, 0, None] * a0 + ms[:, 1, 1, None] * a1
+
+    def _apply_2q_fixed(self, m: np.ndarray, q0: int, q1: int) -> None:
+        lo, hi = (q0, q1) if q0 < q1 else (q1, q0)
+        base = np.arange(1 << (self.num_qubits - 2), dtype=np.int64)
+        i00 = insert_zero_bit(insert_zero_bit(base, lo), hi)
+        b0, b1 = 1 << q0, 1 << q1
+        idx = [i00, i00 | b0, i00 | b1, i00 | b0 | b1]
+        amps = [self.states[:, i] for i in idx]
+        for row in range(4):
+            self.states[:, idx[row]] = sum(m[row, col] * amps[col] for col in range(4))
+
+    def _apply_2q_batched(self, ms: np.ndarray, q0: int, q1: int) -> None:
+        lo, hi = (q0, q1) if q0 < q1 else (q1, q0)
+        base = np.arange(1 << (self.num_qubits - 2), dtype=np.int64)
+        i00 = insert_zero_bit(insert_zero_bit(base, lo), hi)
+        b0, b1 = 1 << q0, 1 << q1
+        idx = [i00, i00 | b0, i00 | b1, i00 | b0 | b1]
+        amps = [self.states[:, i] for i in idx]
+        for row in range(4):
+            self.states[:, idx[row]] = sum(
+                ms[:, row, col, None] * amps[col] for col in range(4)
+            )
+
+    @staticmethod
+    def _batched_matrix(name: str, angles: np.ndarray) -> np.ndarray:
+        """Per-batch gate matrices for single-parameter rotation gates."""
+        b = angles.shape[0]
+        c = np.cos(angles / 2.0)
+        s = np.sin(angles / 2.0)
+        if name == "rx":
+            out = np.zeros((b, 2, 2), dtype=np.complex128)
+            out[:, 0, 0] = out[:, 1, 1] = c
+            out[:, 0, 1] = out[:, 1, 0] = -1j * s
+            return out
+        if name == "ry":
+            out = np.zeros((b, 2, 2), dtype=np.complex128)
+            out[:, 0, 0] = out[:, 1, 1] = c
+            out[:, 0, 1] = -s
+            out[:, 1, 0] = s
+            return out
+        if name == "rz":
+            out = np.zeros((b, 2, 2), dtype=np.complex128)
+            e = np.exp(-0.5j * angles)
+            out[:, 0, 0] = e
+            out[:, 1, 1] = e.conj()
+            return out
+        if name == "p":
+            out = np.zeros((b, 2, 2), dtype=np.complex128)
+            out[:, 0, 0] = 1.0
+            out[:, 1, 1] = np.exp(1j * angles)
+            return out
+        if name == "rzz":
+            e = np.exp(-0.5j * angles)
+            out = np.zeros((b, 4, 4), dtype=np.complex128)
+            out[:, 0, 0] = out[:, 3, 3] = e
+            out[:, 1, 1] = out[:, 2, 2] = e.conj()
+            return out
+        if name == "rxx":
+            out = np.zeros((b, 4, 4), dtype=np.complex128)
+            for d in range(4):
+                out[:, d, d] = c
+            isn = -1j * s
+            out[:, 0, 3] = out[:, 3, 0] = out[:, 1, 2] = out[:, 2, 1] = isn
+            return out
+        if name == "ryy":
+            out = np.zeros((b, 4, 4), dtype=np.complex128)
+            for d in range(4):
+                out[:, d, d] = c
+            out[:, 0, 3] = out[:, 3, 0] = 1j * s
+            out[:, 1, 2] = out[:, 2, 1] = -1j * s
+            return out
+        raise ValueError(f"no batched form for parameterized gate {name!r}")
+
+    # -- execution ------------------------------------------------------------
+
+    def run(
+        self,
+        circuit: Circuit,
+        parameter_table: Mapping[str, np.ndarray],
+        reset: bool = True,
+    ) -> np.ndarray:
+        """Execute the circuit template with per-row parameters.
+
+        ``parameter_table[name]`` is a length-B vector of values for
+        the named circuit parameter.  Returns the (B, 2^n) amplitude
+        matrix (live buffer).
+        """
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError("circuit width mismatch")
+        missing = set(circuit.parameters) - set(parameter_table)
+        if missing:
+            raise ValueError(f"missing parameter vectors: {sorted(missing)}")
+        table = {
+            k: np.asarray(v, dtype=float) for k, v in parameter_table.items()
+        }
+        for k, v in table.items():
+            if v.shape != (self.batch_size,):
+                raise ValueError(
+                    f"parameter {k!r}: expected shape ({self.batch_size},)"
+                )
+        if reset:
+            self.reset()
+        for g in circuit.gates:
+            if g.is_parameterized:
+                (p,) = g.params  # single-angle rotation gates only
+                if not isinstance(p, Parameter):
+                    raise ValueError("mixed symbolic/concrete params unsupported")
+                angles = p.coeff * table[p.name] + p.offset
+                ms = self._batched_matrix(g.name, angles)
+                if g.num_qubits == 1:
+                    self._apply_1q_batched(ms, g.qubits[0])
+                else:
+                    self._apply_2q_batched(ms, g.qubits[0], g.qubits[1])
+            else:
+                m = g.to_matrix()
+                if g.num_qubits == 1:
+                    self._apply_1q_fixed(m, g.qubits[0])
+                elif g.num_qubits == 2:
+                    self._apply_2q_fixed(m, g.qubits[0], g.qubits[1])
+                else:
+                    raise ValueError("batched mode supports <=2-qubit gates")
+        return self.states
+
+    # -- observation ---------------------------------------------------------------
+
+    def expectations(self, observable: PauliSum) -> np.ndarray:
+        """<psi_b|H|psi_b> for every batch row, vectorized per term."""
+        if observable.num_qubits != self.num_qubits:
+            raise ValueError("observable width mismatch")
+        idx = np.arange(self.dim, dtype=np.int64)
+        out = np.zeros(self.batch_size, dtype=np.complex128)
+        for (x, z), coeff in observable.terms.items():
+            src = idx ^ x
+            signs = 1.0 - 2.0 * (count_set_bits(src & z) & 1)
+            phase = _I_POW[bin(x & z).count("1") % 4]
+            applied = self.states[:, src] * signs
+            out += (coeff * phase) * np.einsum(
+                "bi,bi->b", self.states.conj(), applied
+            )
+        if np.any(np.abs(out.imag) > 1e-8 * np.maximum(1.0, np.abs(out.real))):
+            raise ValueError("non-Hermitian observable")
+        return out.real

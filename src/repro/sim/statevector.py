@@ -1,0 +1,219 @@
+"""The single-device statevector simulator (the NWQ-Sim core).
+
+``StatevectorSimulator`` owns one contiguous 2^n complex128 state
+vector ("device memory") and executes circuit IR gate-by-gate with the
+vectorized kernels of ``repro.sim.kernels``.  Diagonal gates and
+permutation gates take fast paths that avoid the full gather/scatter of
+a dense-matrix kernel — the same special-casing NWQ-Sim does on GPU.
+
+The simulator exposes exactly the three capabilities the paper's VQE
+mode builds on:
+
+* run a circuit to obtain the post-ansatz state (cached upstream by
+  ``repro.core.cache``),
+* apply *basis-change* suffixes to a copy of a cached state,
+* compute direct expectation values of Pauli observables from the
+  amplitudes (``repro.sim.expectation``) without sampling.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Gate
+from repro.sim import kernels
+from repro.utils.profiling import Timer
+
+__all__ = ["StatevectorSimulator"]
+
+_DIAG_1Q: Dict[str, "tuple[complex, complex]"] = {
+    "i": (1.0, 1.0),
+    "z": (1.0, -1.0),
+    "s": (1.0, 1j),
+    "sdg": (1.0, -1j),
+    "t": (1.0, complex(math.cos(math.pi / 4), math.sin(math.pi / 4))),
+    "tdg": (1.0, complex(math.cos(math.pi / 4), -math.sin(math.pi / 4))),
+}
+
+
+class StatevectorSimulator:
+    """Dense statevector simulator for up to ~28 qubits on one node.
+
+    Parameters
+    ----------
+    num_qubits:
+        Register width; allocates 2^n complex128 amplitudes.
+    timer:
+        Optional :class:`repro.utils.profiling.Timer` for kernel-level
+        time accounting.
+    """
+
+    def __init__(self, num_qubits: int, timer: Optional[Timer] = None):
+        if num_qubits < 1:
+            raise ValueError("num_qubits must be >= 1")
+        if num_qubits > 30:
+            raise ValueError(
+                "refusing to allocate > 16 GiB on one node; use the "
+                "distributed backend (repro.hpc) for wider registers"
+            )
+        self.num_qubits = num_qubits
+        self.dim = 1 << num_qubits
+        self.state = np.zeros(self.dim, dtype=np.complex128)
+        self.state[0] = 1.0
+        self.timer = timer
+        self.gates_applied = 0
+
+    # -- state management ----------------------------------------------------
+
+    def reset(self) -> None:
+        """Return to |0...0>."""
+        self.state.fill(0)
+        self.state[0] = 1.0
+        self.gates_applied = 0
+
+    def set_state(self, state: np.ndarray, copy: bool = True) -> None:
+        """Load an externally prepared state (e.g. a cached post-ansatz
+        state being restored, §4.1.4)."""
+        state = np.asarray(state, dtype=np.complex128)
+        if state.shape != (self.dim,):
+            raise ValueError("state dimension mismatch")
+        self.state = state.copy() if copy else state
+
+    def statevector(self, copy: bool = True) -> np.ndarray:
+        """The current amplitudes; pass ``copy=False`` to get the live
+        buffer (used by the caching layer to avoid duplication)."""
+        return self.state.copy() if copy else self.state
+
+    def probabilities(self) -> np.ndarray:
+        """|amplitude|^2 over all basis states."""
+        return np.abs(self.state) ** 2
+
+    # -- execution -------------------------------------------------------------
+
+    def apply_gate(self, gate: Gate) -> None:
+        """Apply one gate instruction in place."""
+        n = self.num_qubits
+        st = self.state
+        name = gate.name
+        self.gates_applied += 1
+        if gate.matrix is not None:
+            qs = gate.qubits
+            if len(qs) == 1:
+                kernels.apply_1q(st, gate.matrix, qs[0], n)
+            elif len(qs) == 2:
+                kernels.apply_2q(st, gate.matrix, qs[0], qs[1], n)
+            else:
+                kernels.apply_kq_dense(st, gate.matrix, qs, n)
+            return
+        if name in _DIAG_1Q:
+            d0, d1 = _DIAG_1Q[name]
+            kernels.apply_diag_1q(st, d0, d1, gate.qubits[0], n)
+            return
+        if name == "x":
+            kernels.apply_x(st, gate.qubits[0], n)
+            return
+        if name == "cx":
+            kernels.apply_cx(st, gate.qubits[0], gate.qubits[1], n)
+            return
+        if name in ("rz", "p"):
+            (theta,) = gate.params
+            theta = float(theta)
+            if name == "rz":
+                d0 = complex(math.cos(theta / 2), -math.sin(theta / 2))
+                d1 = d0.conjugate()
+            else:
+                d0, d1 = 1.0, complex(math.cos(theta), math.sin(theta))
+            kernels.apply_diag_1q(st, d0, d1, gate.qubits[0], n)
+            return
+        if name == "cz":
+            kernels.apply_diag_2q(st, (1, 1, 1, -1), *gate.qubits, n=n)
+            return
+        if name == "rzz":
+            (theta,) = gate.params
+            e = complex(math.cos(float(theta) / 2), -math.sin(float(theta) / 2))
+            kernels.apply_diag_2q(
+                st, (e, e.conjugate(), e.conjugate(), e), *gate.qubits, n=n
+            )
+            return
+        if name in ("cp", "crz"):
+            (theta,) = gate.params
+            theta = float(theta)
+            if name == "cp":
+                diag = (1, 1, 1, complex(math.cos(theta), math.sin(theta)))
+            else:
+                e = complex(math.cos(theta / 2), -math.sin(theta / 2))
+                diag = (1, e, 1, e.conjugate())
+            kernels.apply_diag_2q(st, diag, *gate.qubits, n=n)
+            return
+        # Fall back to dense matrix kernels.
+        m = gate.to_matrix()
+        if gate.num_qubits == 1:
+            kernels.apply_1q(st, m, gate.qubits[0], n)
+        else:
+            kernels.apply_2q(st, m, gate.qubits[0], gate.qubits[1], n)
+
+    def run(self, circuit: Circuit, reset: bool = True) -> np.ndarray:
+        """Execute a circuit; returns the live statevector (no copy)."""
+        if circuit.num_qubits != self.num_qubits:
+            raise ValueError(
+                f"circuit width {circuit.num_qubits} != register {self.num_qubits}"
+            )
+        if circuit.num_parameters:
+            raise ValueError("bind circuit parameters before execution")
+        if reset:
+            self.reset()
+        if self.timer is not None:
+            with self.timer.section("run_circuit"):
+                for g in circuit.gates:
+                    self.apply_gate(g)
+        else:
+            for g in circuit.gates:
+                self.apply_gate(g)
+        return self.state
+
+    def apply_circuit(self, circuit: Circuit) -> np.ndarray:
+        """Apply a circuit to the *current* state (suffix execution —
+        basis rotations on top of a cached state)."""
+        return self.run(circuit, reset=False)
+
+    # -- measurement --------------------------------------------------------------
+
+    def sample(
+        self, shots: int, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Sample ``shots`` basis-state indices from |psi|^2."""
+        rng = rng or np.random.default_rng()
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        return rng.choice(self.dim, size=shots, p=probs)
+
+    def sample_counts(
+        self, shots: int, rng: Optional[np.random.Generator] = None
+    ) -> Dict[int, int]:
+        """Histogram of sampled basis states."""
+        outcomes, counts = np.unique(self.sample(shots, rng), return_counts=True)
+        return {int(o): int(c) for o, c in zip(outcomes, counts)}
+
+    def measure_qubit(
+        self, qubit: int, rng: Optional[np.random.Generator] = None
+    ) -> int:
+        """Projectively measure one qubit, collapsing the state."""
+        rng = rng or np.random.default_rng()
+        idx = np.arange(self.dim, dtype=np.int64)
+        mask1 = (idx >> qubit) & 1 == 1
+        p1 = float(np.sum(np.abs(self.state[mask1]) ** 2))
+        outcome = int(rng.random() < p1)
+        keep = mask1 if outcome else ~mask1
+        self.state[~keep] = 0.0
+        norm = math.sqrt(p1 if outcome else 1.0 - p1)
+        if norm > 0:
+            self.state /= norm
+        return outcome
+
+    def memory_bytes(self) -> int:
+        """Bytes held by the state vector (the Fig. 1c quantity)."""
+        return self.state.nbytes

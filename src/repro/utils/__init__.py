@@ -1,0 +1,32 @@
+"""Shared utilities: bit manipulation, linear algebra helpers, timers."""
+
+from repro.utils.bitops import (
+    bit_at,
+    count_set_bits,
+    flip_bit,
+    insert_zero_bit,
+    set_bit,
+)
+from repro.utils.linalg import (
+    is_hermitian,
+    is_unitary,
+    kron_all,
+    random_statevector,
+    random_unitary,
+)
+from repro.utils.profiling import Timer, timed
+
+__all__ = [
+    "bit_at",
+    "count_set_bits",
+    "flip_bit",
+    "insert_zero_bit",
+    "set_bit",
+    "is_hermitian",
+    "is_unitary",
+    "kron_all",
+    "random_statevector",
+    "random_unitary",
+    "Timer",
+    "timed",
+]

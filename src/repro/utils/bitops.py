@@ -1,0 +1,95 @@
+"""Bit-manipulation helpers used by the statevector kernels.
+
+The statevector simulator addresses amplitudes by integer basis-state
+index; gate kernels are built from vectorized index arithmetic rather
+than per-amplitude Python loops (see ``repro.sim.kernels``).  These
+helpers centralize the bit tricks those kernels rely on.
+
+Qubit convention: qubit ``q`` corresponds to bit ``q`` of the basis
+index (little-endian), i.e. basis state ``|b_{n-1} ... b_1 b_0>`` has
+index ``sum_q b_q << q``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bit_at",
+    "set_bit",
+    "flip_bit",
+    "count_set_bits",
+    "insert_zero_bit",
+    "insert_zero_bits",
+    "parity_mask",
+]
+
+
+def bit_at(index: int, position: int) -> int:
+    """Return bit ``position`` of ``index`` (0 or 1)."""
+    return (index >> position) & 1
+
+
+def set_bit(index: int, position: int, value: int) -> int:
+    """Return ``index`` with bit ``position`` forced to ``value``."""
+    if value:
+        return index | (1 << position)
+    return index & ~(1 << position)
+
+
+def flip_bit(index: int, position: int) -> int:
+    """Return ``index`` with bit ``position`` flipped."""
+    return index ^ (1 << position)
+
+
+def count_set_bits(x: "int | np.ndarray") -> "int | np.ndarray":
+    """Population count for a Python int or an integer ndarray.
+
+    For ndarrays this is fully vectorized (used for Pauli-Z parity
+    evaluation over all 2^n basis indices at once).
+    """
+    if isinstance(x, np.ndarray):
+        # SWAR popcount on uint64; exact for indices < 2^63 which covers
+        # any simulable register size.
+        v = x.astype(np.uint64, copy=True)
+        m1 = np.uint64(0x5555555555555555)
+        m2 = np.uint64(0x3333333333333333)
+        m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+        h01 = np.uint64(0x0101010101010101)
+        v -= (v >> np.uint64(1)) & m1
+        v = (v & m2) + ((v >> np.uint64(2)) & m2)
+        v = (v + (v >> np.uint64(4))) & m4
+        return ((v * h01) >> np.uint64(56)).astype(np.int64)
+    return int(x).bit_count() if hasattr(int, "bit_count") else bin(int(x)).count("1")
+
+
+def insert_zero_bit(indices: np.ndarray, position: int) -> np.ndarray:
+    """Insert a 0 bit at ``position`` into every index of ``indices``.
+
+    Maps ``k`` in ``[0, 2^(n-1))`` to the index in ``[0, 2^n)`` whose
+    bit ``position`` is zero and whose remaining bits are ``k``.  This
+    is the core addressing step for single-qubit gate kernels: the set
+    ``insert_zero_bit(arange(2^(n-1)), q)`` enumerates all amplitudes
+    with qubit ``q`` in state |0>.
+    """
+    low_mask = (1 << position) - 1
+    low = indices & low_mask
+    high = (indices >> position) << (position + 1)
+    return high | low
+
+
+def insert_zero_bits(indices: np.ndarray, positions: "list[int]") -> np.ndarray:
+    """Insert 0 bits at each of ``positions`` (ascending order required)."""
+    out = indices
+    for p in sorted(positions):
+        out = insert_zero_bit(out, p)
+    return out
+
+
+def parity_mask(indices: np.ndarray, mask: int) -> np.ndarray:
+    """Parity (0/1) of ``indices & mask``, vectorized.
+
+    Used to evaluate the +/-1 eigenvalue pattern of a Z-type Pauli
+    string over all basis states in one shot.
+    """
+    return (count_set_bits(indices & mask) & 1).astype(np.int64)

@@ -1,0 +1,83 @@
+"""Small dense linear-algebra helpers shared across the package."""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "is_unitary",
+    "is_hermitian",
+    "kron_all",
+    "random_unitary",
+    "random_statevector",
+    "fidelity",
+    "global_phase_aligned",
+]
+
+ATOL = 1e-10
+
+
+def is_unitary(m: np.ndarray, atol: float = 1e-8) -> bool:
+    """True if ``m`` is unitary within ``atol``."""
+    m = np.asarray(m)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        return False
+    return np.allclose(m.conj().T @ m, np.eye(m.shape[0]), atol=atol)
+
+
+def is_hermitian(m: np.ndarray, atol: float = 1e-8) -> bool:
+    """True if ``m`` is Hermitian within ``atol``."""
+    m = np.asarray(m)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        return False
+    return np.allclose(m, m.conj().T, atol=atol)
+
+
+def kron_all(matrices: Iterable[np.ndarray]) -> np.ndarray:
+    """Kronecker product of a sequence of matrices, left to right."""
+    mats = list(matrices)
+    if not mats:
+        return np.eye(1)
+    return reduce(np.kron, mats)
+
+
+def random_unitary(dim: int, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Haar-random unitary via QR of a complex Ginibre matrix."""
+    rng = rng or np.random.default_rng()
+    z = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    q, r = np.linalg.qr(z)
+    # Fix the phase ambiguity of QR so the distribution is Haar.
+    d = np.diagonal(r)
+    q = q * (d / np.abs(d))
+    return q
+
+
+def random_statevector(
+    num_qubits: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Haar-random pure state on ``num_qubits`` qubits."""
+    rng = rng or np.random.default_rng()
+    dim = 1 << num_qubits
+    v = rng.normal(size=dim) + 1j * rng.normal(size=dim)
+    return (v / np.linalg.norm(v)).astype(np.complex128)
+
+
+def fidelity(a: np.ndarray, b: np.ndarray) -> float:
+    """|<a|b>|^2 for normalized pure states."""
+    return float(np.abs(np.vdot(a, b)) ** 2)
+
+
+def global_phase_aligned(a: np.ndarray, b: np.ndarray, atol: float = 1e-8) -> bool:
+    """True if ``a`` and ``b`` are equal up to a global phase."""
+    ia = int(np.argmax(np.abs(a)))
+    if np.abs(a[ia]) < atol and np.abs(b[ia]) < atol:
+        return np.allclose(a, b, atol=atol)
+    if np.abs(b[ia]) < atol:
+        return False
+    phase = a[ia] / b[ia]
+    if not np.isclose(np.abs(phase), 1.0, atol=atol):
+        return False
+    return np.allclose(a, phase * b, atol=atol)

@@ -1,0 +1,65 @@
+"""Lightweight timing utilities.
+
+The optimization workflow for numerical code is measure-first (profile,
+then optimize the bottleneck).  ``Timer`` gives a cheap accumulating
+stopwatch that the simulator and VQE drivers use to report where time
+goes without pulling in a full profiler.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+__all__ = ["Timer", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulating named stopwatch.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t.section("apply_gates"):
+    ...     pass
+    >>> "apply_gates" in t.totals
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def report(self) -> str:
+        """Human-readable per-section totals, slowest first."""
+        lines = []
+        for name, total in sorted(self.totals.items(), key=lambda kv: -kv[1]):
+            lines.append(f"{name:30s} {total:10.4f}s  x{self.counts[name]}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+
+@contextmanager
+def timed() -> Iterator["list[float]"]:
+    """Context manager yielding a one-element list filled with elapsed seconds."""
+    box = [0.0]
+    start = time.perf_counter()
+    try:
+        yield box
+    finally:
+        box[0] = time.perf_counter() - start

@@ -1,0 +1,6 @@
+"""Test suite for the repro package.
+
+This file makes ``tests`` an importable package so helper utilities
+(e.g. ``tests.test_statevector.random_circuit``) can be shared across
+test modules under both ``pytest`` and ``python -m pytest``.
+"""

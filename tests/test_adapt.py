@@ -1,0 +1,145 @@
+"""Tests for ADAPT-VQE (paper §5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.chem.fci import exact_ground_energy
+from repro.chem.hamiltonian import build_molecular_hamiltonian
+from repro.chem.molecule import h2, h4_chain
+from repro.chem.pools import qubit_pool, uccsd_pool
+from repro.chem.reference import hartree_fock_state
+from repro.chem.scf import run_rhf
+from repro.core.adapt import AdaptVQE
+from repro.opt.gradient import AnsatzObjective, finite_difference_gradient
+
+
+@pytest.fixture(scope="module")
+def h2_problem():
+    scf = run_rhf(h2())
+    hq = build_molecular_hamiltonian(scf).to_qubit()
+    e_fci = exact_ground_energy(hq, num_particles=2, sz=0)
+    return hq, e_fci
+
+
+@pytest.fixture(scope="module")
+def h4_problem():
+    scf = run_rhf(h4_chain())
+    hq = build_molecular_hamiltonian(scf).to_qubit()
+    e_fci = exact_ground_energy(hq, num_particles=4, sz=0)
+    return hq, e_fci
+
+
+class TestPoolGradients:
+    def test_gradient_formula_matches_derivative(self, h2_problem):
+        """<[H, A]> on |HF> must equal dE/dtheta at theta = 0."""
+        hq, _ = h2_problem
+        pool = uccsd_pool(4, 2)
+        ref = hartree_fock_state(4, 2)
+        adapt = AdaptVQE(hq, pool, ref)
+        grads = adapt.pool_gradients(ref)
+        for k, op in enumerate(pool):
+            obj = AnsatzObjective(ref, [op.generator], hq)
+            fd = finite_difference_gradient(obj.energy, np.zeros(1))[0]
+            assert np.isclose(grads[k], fd, atol=1e-6)
+
+    def test_double_has_largest_gradient_for_h2(self, h2_problem):
+        """For H2 the double excitation dominates (singles vanish by
+        Brillouin's theorem on the HF state)."""
+        hq, _ = h2_problem
+        pool = uccsd_pool(4, 2)
+        ref = hartree_fock_state(4, 2)
+        grads = AdaptVQE(hq, pool, ref).pool_gradients(ref)
+        labels = [op.label for op in pool]
+        best = labels[int(np.argmax(np.abs(grads)))]
+        assert best.startswith("d(")
+        # Brillouin: single-excitation gradients are ~0.
+        for lbl, g in zip(labels, grads):
+            if lbl.startswith("s("):
+                assert abs(g) < 1e-8
+
+
+class TestAdaptConvergence:
+    def test_h2_one_iteration(self, h2_problem):
+        hq, e_fci = h2_problem
+        adapt = AdaptVQE(
+            hq,
+            uccsd_pool(4, 2),
+            hartree_fock_state(4, 2),
+            max_iterations=5,
+            reference_energy=e_fci,
+            energy_tolerance=1e-6,
+        )
+        res = adapt.run()
+        assert res.converged
+        assert abs(res.energy - e_fci) < 1e-6
+        assert len(res.operator_labels) <= 2
+
+    def test_h4_reaches_chemical_accuracy(self, h4_problem):
+        hq, e_fci = h4_problem
+        adapt = AdaptVQE(
+            hq,
+            uccsd_pool(8, 4),
+            hartree_fock_state(8, 4),
+            max_iterations=25,
+            reference_energy=e_fci,
+            energy_tolerance=1e-3,
+        )
+        res = adapt.run()
+        assert res.converged
+        assert res.iterations_to_accuracy(1e-3) is not None
+
+    def test_energy_monotone_nonincreasing(self, h4_problem):
+        hq, e_fci = h4_problem
+        adapt = AdaptVQE(
+            hq,
+            uccsd_pool(8, 4),
+            hartree_fock_state(8, 4),
+            max_iterations=8,
+            reference_energy=e_fci,
+        )
+        res = adapt.run()
+        energies = [it.energy for it in res.iterations]
+        for a, b in zip(energies, energies[1:]):
+            assert b <= a + 1e-9
+
+    def test_one_parameter_per_iteration(self, h4_problem):
+        """Each adaptive iteration grows the ansatz by one layer
+        (the Fig. 5 caption's '+1 layer per iteration')."""
+        hq, _ = h4_problem
+        adapt = AdaptVQE(
+            hq, uccsd_pool(8, 4), hartree_fock_state(8, 4), max_iterations=5
+        )
+        res = adapt.run()
+        for k, it in enumerate(res.iterations, start=1):
+            assert it.num_parameters == k
+
+    def test_qubit_pool_also_converges_h2(self, h2_problem):
+        hq, e_fci = h2_problem
+        adapt = AdaptVQE(
+            hq,
+            qubit_pool(4, 2),
+            hartree_fock_state(4, 2),
+            max_iterations=10,
+            reference_energy=e_fci,
+            energy_tolerance=1e-5,
+        )
+        res = adapt.run()
+        assert abs(res.energy - e_fci) < 1e-4
+
+    def test_empty_pool_rejected(self, h2_problem):
+        hq, _ = h2_problem
+        with pytest.raises(ValueError):
+            AdaptVQE(hq, [], hartree_fock_state(4, 2))
+
+    def test_gradient_tolerance_stops(self, h2_problem):
+        """With a huge tolerance ADAPT stops immediately, converged."""
+        hq, _ = h2_problem
+        adapt = AdaptVQE(
+            hq,
+            uccsd_pool(4, 2),
+            hartree_fock_state(4, 2),
+            gradient_tolerance=1e3,
+        )
+        res = adapt.run()
+        assert res.converged
+        assert len(res.iterations) == 0

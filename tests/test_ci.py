@@ -1,0 +1,141 @@
+"""Tests for determinant-basis CI (Slater–Condon) and the Davidson
+eigensolver."""
+
+import numpy as np
+import pytest
+
+from repro.chem.ci import (
+    build_ci_matrix,
+    cisd_determinants,
+    davidson,
+    enumerate_determinants,
+    run_ci,
+)
+from repro.chem.fci import exact_ground_energy
+from repro.chem.hamiltonian import build_molecular_hamiltonian
+from repro.chem.molecule import h2, h2o, h4_chain, lih
+from repro.chem.scf import run_rhf
+
+
+class TestDeterminantEnumeration:
+    def test_sector_sizes(self):
+        # 4 spin orbitals, 2 electrons, Sz=0: 1 alpha x 1 beta = 4
+        assert len(enumerate_determinants(4, 2, sz=0)) == 4
+        # no spin restriction: C(4,2) = 6
+        assert len(enumerate_determinants(4, 2, sz=None)) == 6
+
+    def test_h2o_active_sector(self):
+        # 12 spin orbitals, 8 electrons, Sz=0: C(6,4)^2 = 225
+        assert len(enumerate_determinants(12, 8, sz=0)) == 225
+
+    def test_particle_number(self):
+        for det in enumerate_determinants(6, 4, sz=0):
+            assert bin(det).count("1") == 4
+
+    def test_cisd_subset_of_fci(self):
+        fci = set(enumerate_determinants(8, 4, sz=0))
+        cisd = set(cisd_determinants(8, 4, sz=0))
+        assert cisd <= fci
+        assert (1 << 4) - 1 in cisd  # reference included
+
+    def test_cisd_smaller_than_fci(self):
+        assert len(cisd_determinants(8, 4)) < len(enumerate_determinants(8, 4))
+
+
+@pytest.fixture(scope="module")
+def h4_system():
+    scf = run_rhf(h4_chain())
+    mh = build_molecular_hamiltonian(scf)
+    return scf, mh
+
+
+class TestSlaterCondon:
+    def test_diagonal_is_hf_for_reference(self, h4_system):
+        scf, mh = h4_system
+        dets = [((1 << 4) - 1)]  # just the reference determinant
+        mat = build_ci_matrix(mh, dets)
+        assert np.isclose(mat[0, 0], scf.energy, atol=1e-8)
+
+    def test_matrix_symmetric(self, h4_system):
+        _, mh = h4_system
+        dets = enumerate_determinants(8, 4, sz=0)
+        mat = build_ci_matrix(mh, dets)
+        assert np.allclose(mat, mat.T, atol=1e-10)
+
+    def test_matches_qubit_hamiltonian_block(self, h4_system):
+        """The CI matrix must be exactly the qubit Hamiltonian
+        restricted to the sector determinants — Slater–Condon vs JW."""
+        _, mh = h4_system
+        dets = enumerate_determinants(8, 4, sz=0)
+        mat = build_ci_matrix(mh, dets)
+        hq = mh.to_qubit().to_sparse()
+        block = hq[np.ix_(dets, dets)].toarray().real
+        assert np.allclose(mat, block, atol=1e-8)
+
+
+class TestCIEnergies:
+    @pytest.mark.parametrize("factory,n_e", [(h2, 2), (h4_chain, 4)])
+    def test_det_fci_equals_qubit_fci(self, factory, n_e):
+        scf = run_rhf(factory())
+        mh = build_molecular_hamiltonian(scf)
+        e_q = exact_ground_energy(mh.to_qubit(), num_particles=n_e, sz=0)
+        res = run_ci(mh, "fci")
+        assert np.isclose(res.energy, e_q, atol=1e-8)
+
+    def test_variational_hierarchy(self, h4_system):
+        """E_HF >= E_CISD >= E_FCI."""
+        scf, mh = h4_system
+        fci = run_ci(mh, "fci")
+        cisd = run_ci(mh, "cisd")
+        assert scf.energy >= cisd.energy - 1e-10
+        assert cisd.energy >= fci.energy - 1e-10
+        assert cisd.dimension < fci.dimension
+
+    def test_h2o_active_space_fast(self):
+        """225 determinants instead of 4096 amplitudes; same energy."""
+        scf = run_rhf(h2o())
+        act = build_molecular_hamiltonian(scf).active_space(
+            [0], [1, 2, 3, 4, 5, 6]
+        )
+        res = run_ci(act, "fci")
+        assert res.dimension == 225
+        e_q = exact_ground_energy(act.to_qubit(), num_particles=8, sz=0)
+        assert np.isclose(res.energy, e_q, atol=1e-7)
+
+    def test_bad_space(self, h4_system):
+        _, mh = h4_system
+        with pytest.raises(ValueError):
+            run_ci(mh, "casscf")
+
+    def test_eigenvector_normalized(self, h4_system):
+        _, mh = h4_system
+        res = run_ci(mh, "fci")
+        assert np.isclose(np.linalg.norm(res.eigenvector), 1.0, atol=1e-8)
+
+
+class TestDavidson:
+    def test_matches_eigh_dense_path(self, rng):
+        a = rng.normal(size=(40, 40))
+        a = 0.5 * (a + a.T)
+        vals, vecs = davidson(a, num_roots=2)
+        ref = np.linalg.eigvalsh(a)[:2]
+        assert np.allclose(vals, ref, atol=1e-8)
+
+    def test_large_diagonal_dominant(self, rng):
+        """Davidson's home turf: large, diagonally dominant matrices."""
+        dim = 400
+        diag = np.sort(rng.uniform(-5, 5, size=dim))
+        a = np.diag(diag) + 0.01 * rng.normal(size=(dim, dim))
+        a = 0.5 * (a + a.T)
+        vals, vecs = davidson(a, num_roots=3, tol=1e-8)
+        ref = np.linalg.eigvalsh(a)[:3]
+        assert np.allclose(vals, ref, atol=1e-6)
+        # residual check
+        for k in range(3):
+            r = a @ vecs[:, k] - vals[k] * vecs[:, k]
+            assert np.linalg.norm(r) < 1e-6
+
+    def test_num_roots_clamped(self, rng):
+        a = np.diag(rng.uniform(size=5))
+        vals, _ = davidson(a, num_roots=10)
+        assert len(vals) == 5

@@ -1,0 +1,202 @@
+"""Tests for the fermionic algebra and the fermion-to-qubit mappings."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.chem.fermion import FermionOperator
+from repro.chem.mappings import (
+    bravyi_kitaev,
+    encoding_matrix,
+    jordan_wigner,
+    map_fermion_operator,
+    parity_transform,
+)
+from repro.chem.reference import hartree_fock_bitstring, hartree_fock_state
+from repro.ir.pauli import PauliSum
+
+
+class TestFermionAlgebra:
+    def test_number_operator_idempotent(self):
+        n_op = FermionOperator.from_string("0^ 0")
+        sq = (n_op * n_op).normal_ordered()
+        assert sq.terms == n_op.normal_ordered().terms
+
+    def test_car_same_mode(self):
+        # a a+ + a+ a = 1
+        a = FermionOperator.from_string("0")
+        adag = FermionOperator.from_string("0^")
+        anti = (a * adag + adag * a).normal_ordered()
+        assert anti.terms == {(): 1.0}
+
+    def test_car_different_modes(self):
+        a0 = FermionOperator.from_string("0")
+        a1dag = FermionOperator.from_string("1^")
+        anti = (a0 * a1dag + a1dag * a0).normal_ordered()
+        assert len(anti) == 0
+
+    def test_pauli_exclusion(self):
+        doubled = (
+            FermionOperator.from_string("2^") * FermionOperator.from_string("2^")
+        ).normal_ordered()
+        assert len(doubled) == 0
+
+    def test_dagger_involution(self):
+        op = FermionOperator.from_string("3^ 1", 2.0 + 1.0j) + FermionOperator.from_string(
+            "2^ 0^ 1 0", -0.5
+        )
+        dd = op.dagger().dagger()
+        assert (dd - op).normal_ordered().chop().terms == {}
+
+    def test_excitation_generator_antihermitian(self):
+        t = FermionOperator.from_string("2^ 0")
+        gen = t - t.dagger()
+        assert gen.is_anti_hermitian()
+        assert not gen.is_hermitian()
+
+    def test_normal_ordering_sign(self):
+        # a_0 a_1 = -a_1 a_0 -> canonical ascending annihilations
+        op = FermionOperator.from_string("1 0").normal_ordered()
+        assert op.terms == {((0, False), (1, False)): -1.0}
+
+    def test_contraction(self):
+        # a_0 a+_0 = 1 - a+_0 a_0
+        op = FermionOperator.from_string("0 0^").normal_ordered()
+        assert op.terms[()] == 1.0
+        assert op.terms[((0, True), (0, False))] == -1.0
+
+    def test_particle_number_conservation_check(self):
+        assert FermionOperator.from_string("2^ 0").conserves_particle_number()
+        assert not FermionOperator.from_string("2^").conserves_particle_number()
+
+    def test_commutator_of_numbers_vanishes(self):
+        n0 = FermionOperator.from_string("0^ 0")
+        n1 = FermionOperator.from_string("1^ 1")
+        assert len(n0.commutator(n1)) == 0
+
+
+class TestEncodingMatrices:
+    def test_jw_identity(self):
+        assert np.array_equal(encoding_matrix("jordan-wigner", 5), np.eye(5))
+
+    def test_parity_prefix_sums(self):
+        beta = encoding_matrix("parity", 4)
+        n = np.array([1, 0, 1, 0], dtype=np.uint8)
+        b = (beta @ n) % 2
+        assert list(b) == [1, 1, 0, 0]
+
+    def test_bk_power_of_two_structure(self):
+        beta = encoding_matrix("bravyi-kitaev", 8)
+        # Last qubit stores total parity: bottom row all ones.
+        assert np.all(beta[7] == 1)
+        # Diagonal is all ones (each qubit depends on its own mode).
+        assert np.all(np.diag(beta) == 1)
+
+    def test_bk_truncation(self):
+        b8 = encoding_matrix("bravyi-kitaev", 8)
+        b6 = encoding_matrix("bravyi-kitaev", 6)
+        assert np.array_equal(b6, b8[:6, :6])
+
+
+class TestMappings:
+    def test_jw_annihilation_qubit0(self):
+        a0 = jordan_wigner(FermionOperator.from_string("0"), 2)
+        # a_0 = (X + iY)/2 on qubit 0
+        expected = PauliSum.from_label_dict({"IX": 0.5, "IY": 0.5j})
+        assert np.allclose(a0.to_matrix(), expected.to_matrix())
+
+    def test_jw_z_string(self):
+        a2 = jordan_wigner(FermionOperator.from_string("2"), 3)
+        # a_2 = (X_2 + iY_2)/2 Z_1 Z_0
+        expected = PauliSum.from_label_dict({"XZZ": 0.5, "YZZ": 0.5j})
+        assert np.allclose(a2.to_matrix(), expected.to_matrix())
+
+    def test_number_operator_jw(self):
+        n1 = jordan_wigner(FermionOperator.from_string("1^ 1"), 2)
+        expected = PauliSum.from_label_dict({"II": 0.5, "ZI": -0.5})
+        assert np.allclose(n1.to_matrix(), expected.to_matrix())
+
+    @pytest.mark.parametrize("mapping", ["jordan-wigner", "parity", "bravyi-kitaev"])
+    def test_car_preserved(self, mapping):
+        """{a_p, a+_q} = delta_pq must hold for the mapped operators."""
+        n = 4
+        for p in range(n):
+            for q in range(n):
+                ap = map_fermion_operator(
+                    FermionOperator.from_string(f"{p}"), n, mapping
+                ).to_matrix()
+                aqd = map_fermion_operator(
+                    FermionOperator.from_string(f"{q}^"), n, mapping
+                ).to_matrix()
+                anti = ap @ aqd + aqd @ ap
+                expected = np.eye(1 << n) if p == q else np.zeros((1 << n, 1 << n))
+                assert np.allclose(anti, expected, atol=1e-10)
+
+    @pytest.mark.parametrize("mapping", ["parity", "bravyi-kitaev"])
+    def test_spectrum_matches_jw(self, mapping):
+        """All mappings are unitarily equivalent: same spectrum."""
+        rng = np.random.default_rng(11)
+        n = 4
+        op = FermionOperator()
+        for _ in range(6):
+            p, q = rng.integers(0, n, size=2)
+            c = float(rng.normal())
+            term = FermionOperator.term([(int(p), True), (int(q), False)], c)
+            op = op + term + term.dagger()
+        jw = jordan_wigner(op, n).to_matrix()
+        other = map_fermion_operator(op, n, mapping).to_matrix()
+        assert np.allclose(
+            np.linalg.eigvalsh(jw), np.linalg.eigvalsh(other), atol=1e-8
+        )
+
+    def test_hermitian_input_gives_hermitian_output(self):
+        op = FermionOperator.from_string("1^ 0") + FermionOperator.from_string("0^ 1")
+        for mapping in ("jordan-wigner", "parity", "bravyi-kitaev"):
+            q = map_fermion_operator(op, 3, mapping)
+            assert q.is_hermitian()
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            jordan_wigner(FermionOperator.from_string("5"), 4)
+
+    def test_unknown_mapping(self):
+        with pytest.raises(ValueError):
+            map_fermion_operator(FermionOperator.from_string("0"), 2, "nope")
+
+
+class TestReferenceState:
+    def test_jw_bitstring(self):
+        assert hartree_fock_bitstring(4, 2) == 0b0011
+
+    def test_parity_bitstring(self):
+        # occupations 1,1,0,0 -> prefix parities 1,0,0,0
+        assert hartree_fock_bitstring(4, 2, "parity") == 0b0001
+
+    def test_state_is_number_eigenstate(self):
+        state = hartree_fock_state(6, 4)
+        n_total = PauliSum.zero(6)
+        from repro.chem.mappings import jordan_wigner as jw
+
+        for p in range(6):
+            n_total = n_total + jw(FermionOperator.from_string(f"{p}^ {p}"), 6)
+        val = n_total.expectation(state)
+        assert np.isclose(val.real, 4.0)
+
+    def test_hf_energy_via_state(self):
+        """<HF|H|HF> through the qubit pipeline equals the integral
+        formula — ties mapping, reference prep, and Hamiltonian
+        construction together."""
+        from repro.chem.hamiltonian import build_molecular_hamiltonian
+        from repro.chem.molecule import h2
+        from repro.chem.scf import run_rhf
+
+        scf = run_rhf(h2())
+        mh = build_molecular_hamiltonian(scf)
+        hq = mh.to_qubit()
+        state = hartree_fock_state(4, 2)
+        assert np.isclose(hq.expectation(state).real, scf.energy, atol=1e-8)
+
+    def test_too_many_electrons(self):
+        with pytest.raises(ValueError):
+            hartree_fock_bitstring(2, 3)

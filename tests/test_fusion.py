@@ -1,0 +1,111 @@
+"""Tests for gate fusion (paper §4.3): the fused circuit must implement
+the same unitary with fewer gates, never exceeding 2-qubit blocks."""
+
+import numpy as np
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.sim.fusion import embed_1q_in_2q, fuse_circuit
+from repro.sim.statevector import StatevectorSimulator
+from repro.utils.linalg import global_phase_aligned
+from tests.test_statevector import random_circuit
+
+
+class TestEmbedding:
+    def test_embed_low_slot(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        m = embed_1q_in_2q(x, 0)
+        # acts on low bit: |00> -> |01>
+        v = np.zeros(4)
+        v[0] = 1
+        assert np.argmax(np.abs(m @ v)) == 0b01
+
+    def test_embed_high_slot(self):
+        x = np.array([[0, 1], [1, 0]], dtype=complex)
+        m = embed_1q_in_2q(x, 1)
+        v = np.zeros(4)
+        v[0] = 1
+        assert np.argmax(np.abs(m @ v)) == 0b10
+
+
+class TestFusionCorrectness:
+    def test_1q_run_fuses_to_one(self):
+        c = Circuit(1).h(0).t(0).s(0).x(0)
+        res = fuse_circuit(c)
+        assert res.fused_gates == 1
+        assert np.allclose(
+            res.circuit.to_matrix(), c.to_matrix(), atol=1e-10
+        )
+
+    def test_1q_absorbed_into_2q(self):
+        c = Circuit(2).h(0).cx(0, 1).rz(0.3, 1)
+        res = fuse_circuit(c)
+        assert res.fused_gates == 1
+        assert np.allclose(res.circuit.to_matrix(), c.to_matrix(), atol=1e-10)
+
+    def test_no_cross_entangler_fusion(self):
+        # Gates on (0,1) then (1,2) cannot fuse (union = 3 qubits).
+        c = Circuit(3).cx(0, 1).cx(1, 2)
+        res = fuse_circuit(c)
+        assert res.fused_gates == 2
+
+    def test_reduction_property(self):
+        c = Circuit(2).h(0).h(1).cx(0, 1).rz(0.1, 0).rz(0.2, 1).cx(0, 1)
+        res = fuse_circuit(c)
+        assert res.original_gates == 6
+        assert res.fused_gates < 6
+        assert 0 < res.reduction < 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_circuits_same_state(self, seed):
+        n = 4
+        c = random_circuit(n, 40, seed)
+        res = fuse_circuit(c)
+        assert res.fused_gates <= res.original_gates
+        s1 = StatevectorSimulator(n)
+        s2 = StatevectorSimulator(n)
+        s1.run(c)
+        s2.run(res.circuit)
+        assert np.allclose(s1.state, s2.state, atol=1e-9)
+
+    def test_all_fused_blocks_within_2_qubits(self):
+        c = random_circuit(5, 60, 11)
+        res = fuse_circuit(c)
+        assert all(g.num_qubits <= 2 for g in res.circuit.gates)
+
+    def test_max_qubits_1(self):
+        c = Circuit(2).h(0).t(0).cx(0, 1).s(1).s(1)
+        res = fuse_circuit(c, max_qubits=1)
+        # h,t fuse; cx untouched; s,s fuse
+        assert res.fused_gates == 3
+        assert np.allclose(res.circuit.to_matrix(), c.to_matrix(), atol=1e-10)
+
+    def test_invalid_max_qubits(self):
+        with pytest.raises(ValueError):
+            fuse_circuit(Circuit(1).h(0), max_qubits=3)
+
+    def test_parameterized_gate_is_barrier(self):
+        from repro.ir.gates import Parameter
+
+        c = Circuit(1).h(0).rz(Parameter("t"), 0).h(0)
+        res = fuse_circuit(c)
+        # symbolic rz cannot fuse; h's stay separate around it
+        assert res.fused_gates == 3
+
+    def test_interleaved_qubit_blocks(self):
+        # cx(0,1), x(2), rz on 1 -> rz fuses into the cx even though x(2)
+        # appears in between (disjoint support commutes).
+        c = Circuit(3).cx(0, 1).x(2).rz(0.5, 1)
+        res = fuse_circuit(c)
+        assert res.fused_gates == 2
+        s1, s2 = StatevectorSimulator(3), StatevectorSimulator(3)
+        s1.run(c)
+        s2.run(res.circuit)
+        assert np.allclose(s1.state, s2.state, atol=1e-10)
+
+    def test_swapped_qubit_order_2q_fusion(self):
+        # rzz(1,0) then rzz(0,1): same pair in different order must fuse.
+        c = Circuit(2).add("rzz", [1, 0], 0.3).add("rzz", [0, 1], 0.4)
+        res = fuse_circuit(c)
+        assert res.fused_gates == 1
+        assert np.allclose(res.circuit.to_matrix(), c.to_matrix(), atol=1e-10)

@@ -1,0 +1,129 @@
+"""Tests for the gate library and circuit IR."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import GATE_SET, Gate, Parameter, gate_matrix
+from repro.utils.linalg import is_unitary
+
+angles = st.floats(min_value=-6.3, max_value=6.3, allow_nan=False)
+
+
+class TestGateMatrices:
+    @given(st.sampled_from(sorted(GATE_SET)), st.data())
+    def test_all_gates_unitary(self, name, data):
+        _, npar, _ = GATE_SET[name]
+        params = [data.draw(angles) for _ in range(npar)]
+        assert is_unitary(gate_matrix(name, *params))
+
+    def test_cx_truth_table(self):
+        # control = q0 (low bit), target = q1 (high bit)
+        m = gate_matrix("cx")
+        # |01> (q0=1, q1=0) -> |11>
+        v = np.zeros(4)
+        v[0b01] = 1
+        assert np.argmax(np.abs(m @ v)) == 0b11
+        # |00> fixed
+        v = np.zeros(4)
+        v[0] = 1
+        assert np.argmax(np.abs(m @ v)) == 0
+
+    def test_rz_eigenphases(self):
+        theta = 0.7
+        m = gate_matrix("rz", theta)
+        assert np.isclose(m[0, 0], np.exp(-1j * theta / 2))
+        assert np.isclose(m[1, 1], np.exp(1j * theta / 2))
+
+    @given(angles)
+    def test_rotation_inverses(self, theta):
+        for name in ("rx", "ry", "rz", "rzz", "rxx", "ryy"):
+            nq = GATE_SET[name][0]
+            qubits = tuple(range(nq))
+            g = Gate(name, qubits, (theta,))
+            prod = g.dagger().to_matrix() @ g.to_matrix()
+            assert np.allclose(prod, np.eye(2**nq), atol=1e-10)
+
+    def test_dagger_named(self):
+        assert Gate("s", (0,)).dagger().name == "sdg"
+        assert Gate("t", (0,)).dagger().name == "tdg"
+        assert Gate("h", (0,)).dagger().name == "h"
+
+    def test_gate_validation(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (0,))  # wrong arity
+        with pytest.raises(ValueError):
+            Gate("rx", (0,))  # missing parameter
+        with pytest.raises(ValueError):
+            Gate("cx", (1, 1))  # duplicate qubits
+        with pytest.raises(ValueError):
+            Gate("nope", (0,))  # unknown without matrix
+
+
+class TestParameter:
+    def test_affine_arithmetic(self):
+        p = Parameter("theta")
+        q = 2.0 * p + 1.0
+        assert q.bind(3.0) == 7.0
+        assert (-p).bind(2.0) == -2.0
+
+    def test_binding_gate(self):
+        g = Gate("rz", (0,), (Parameter("a", coeff=0.5),))
+        b = g.bound({"a": np.pi})
+        assert np.isclose(float(b.params[0]), np.pi / 2)
+
+
+class TestCircuit:
+    def test_builder_chaining(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        assert len(c) == 2
+        assert c.depth() == 2
+        assert c.count_2q() == 1
+
+    def test_bell_state_matrix(self):
+        c = Circuit(2).h(0).cx(0, 1)
+        v = c.to_matrix()[:, 0]
+        expected = np.zeros(4, dtype=complex)
+        expected[0b00] = expected[0b11] = 1 / np.sqrt(2)
+        assert np.allclose(v, expected)
+
+    def test_inverse_is_identity(self):
+        c = Circuit(3).h(0).cx(0, 1).rz(0.3, 1).ry(1.1, 2).cx(1, 2).t(0)
+        u = c.to_matrix()
+        uinv = c.inverse().to_matrix()
+        assert np.allclose(uinv @ u, np.eye(8), atol=1e-10)
+
+    def test_parameters_order_and_bind(self):
+        a, b = Parameter("a"), Parameter("b")
+        c = Circuit(1).rz(a, 0).ry(b, 0).rz(2.0 * a, 0)
+        assert c.parameters == ["a", "b"]
+        bound = c.bind([0.5, 1.5])
+        assert not bound.num_parameters
+        assert np.isclose(float(bound.gates[2].params[0]), 1.0)
+
+    def test_bind_errors(self):
+        c = Circuit(1).rz(Parameter("a"), 0)
+        with pytest.raises(ValueError):
+            c.bind([])
+        with pytest.raises(ValueError):
+            c.bind({"b": 1.0})
+
+    def test_out_of_range_gate(self):
+        with pytest.raises(ValueError):
+            Circuit(1).cx(0, 1)
+
+    def test_compose(self):
+        c1 = Circuit(2).h(0)
+        c2 = Circuit(2).cx(0, 1)
+        c1.compose(c2)
+        assert len(c1) == 2
+
+    def test_gate_counts(self):
+        c = Circuit(2).h(0).h(1).cx(0, 1)
+        assert c.gate_counts() == {"h": 2, "cx": 1}
+
+    def test_depth_parallel_gates(self):
+        c = Circuit(4).h(0).h(1).h(2).h(3)
+        assert c.depth() == 1

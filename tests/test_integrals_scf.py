@@ -1,0 +1,208 @@
+"""Tests for the Gaussian-integral engine, SCF, and MP2 against known
+reference values and structural invariants."""
+
+import numpy as np
+import pytest
+
+from repro.chem.basis import build_basis, primitive_norm
+from repro.chem.hamiltonian import build_molecular_hamiltonian
+from repro.chem.integrals import (
+    boys,
+    core_hamiltonian,
+    eri_tensor,
+    kinetic_matrix,
+    nuclear_attraction_matrix,
+    overlap_matrix,
+)
+from repro.chem.mo import transform_to_mo
+from repro.chem.molecule import Molecule, h2, h2o, h4_chain, lih
+from repro.chem.mp2 import run_mp2
+from repro.chem.scf import run_rhf
+
+
+class TestBoys:
+    def test_f0_zero(self):
+        assert np.isclose(boys(0, 0.0), 1.0)
+
+    def test_f0_analytic(self):
+        # F_0(x) = sqrt(pi/(4x)) erf(sqrt(x))
+        from scipy.special import erf
+
+        for x in (0.1, 1.0, 5.0, 20.0):
+            expected = 0.5 * np.sqrt(np.pi / x) * erf(np.sqrt(x))
+            assert np.isclose(boys(0, x), expected, rtol=1e-10)
+
+    def test_fn_zero(self):
+        for n in range(5):
+            assert np.isclose(boys(n, 0.0), 1.0 / (2 * n + 1))
+
+    def test_downward_recursion(self):
+        # F_{n}(x) = (2x F_{n+1}(x) + exp(-x)) / (2n + 1)
+        x = 1.7
+        for n in range(4):
+            lhs = boys(n, x)
+            rhs = (2 * x * boys(n + 1, x) + np.exp(-x)) / (2 * n + 1)
+            assert np.isclose(lhs, rhs, rtol=1e-10)
+
+
+class TestBasis:
+    def test_h_has_one_function(self):
+        bfs = build_basis(h2())
+        assert len(bfs) == 2
+        assert all(f.angular_momentum == 0 for f in bfs)
+
+    def test_o_has_five_functions(self):
+        bfs = build_basis(Molecule.from_angstrom([("O", (0, 0, 0))]))
+        # 1s, 2s, 2px, 2py, 2pz
+        assert len(bfs) == 5
+        assert sum(1 for f in bfs if f.angular_momentum == 1) == 3
+
+    def test_normalized_contractions(self):
+        bfs = build_basis(h2o())
+        s = overlap_matrix(bfs)
+        assert np.allclose(np.diag(s), 1.0, atol=1e-10)
+
+    def test_primitive_norm_s(self):
+        # <g|g> = 1 for a normalized s primitive
+        a = 0.8
+        n = primitive_norm(a, (0, 0, 0))
+        self_overlap = n * n * (np.pi / (2 * a)) ** 1.5
+        assert np.isclose(self_overlap, 1.0)
+
+    def test_unknown_element(self):
+        with pytest.raises(ValueError):
+            build_basis(Molecule.from_angstrom([("Na", (0, 0, 0))]))  # type: ignore
+
+    def test_unknown_basis(self):
+        with pytest.raises(ValueError):
+            build_basis(h2(), "cc-pvdz")
+
+
+class TestIntegralInvariants:
+    @pytest.fixture(scope="class")
+    def water(self):
+        mol = h2o()
+        bfs = build_basis(mol)
+        return mol, bfs
+
+    def test_overlap_spd(self, water):
+        _, bfs = water
+        s = overlap_matrix(bfs)
+        assert np.allclose(s, s.T)
+        assert np.min(np.linalg.eigvalsh(s)) > 0
+
+    def test_kinetic_positive(self, water):
+        _, bfs = water
+        t = kinetic_matrix(bfs)
+        assert np.allclose(t, t.T)
+        assert np.min(np.linalg.eigvalsh(t)) > 0
+
+    def test_nuclear_negative_diagonal(self, water):
+        mol, bfs = water
+        v = nuclear_attraction_matrix(bfs, mol)
+        assert np.allclose(v, v.T)
+        assert np.all(np.diag(v) < 0)
+
+    def test_eri_eightfold_symmetry(self, water):
+        _, bfs = water
+        eri = eri_tensor(bfs)
+        assert np.allclose(eri, eri.transpose(1, 0, 2, 3), atol=1e-10)
+        assert np.allclose(eri, eri.transpose(0, 1, 3, 2), atol=1e-10)
+        assert np.allclose(eri, eri.transpose(2, 3, 0, 1), atol=1e-10)
+
+    def test_eri_diagonal_positive(self, water):
+        _, bfs = water
+        eri = eri_tensor(bfs)
+        n = len(bfs)
+        for i in range(n):
+            assert eri[i, i, i, i] > 0
+
+
+class TestSCF:
+    def test_h2_energy(self):
+        res = run_rhf(h2())
+        assert res.converged
+        assert np.isclose(res.energy, -1.116684, atol=2e-5)
+
+    def test_h2o_energy(self):
+        res = run_rhf(h2o())
+        assert res.converged
+        assert np.isclose(res.energy, -74.96293, atol=1e-4)
+
+    def test_lih_energy(self):
+        res = run_rhf(lih())
+        assert res.converged
+        # STO-3G LiH at r = 1.5949 A: about -7.862 Ha
+        assert -7.90 < res.energy < -7.82
+
+    def test_h2_virial_ballpark(self):
+        """-V/T should be near 2 at equilibrium (virial theorem)."""
+        res = run_rhf(h2())
+        bfs = res.basis
+        t = kinetic_matrix(bfs)
+        n_occ = res.num_occupied
+        dm = 2.0 * res.mo_coeff[:, :n_occ] @ res.mo_coeff[:, :n_occ].T
+        kinetic = float(np.einsum("pq,pq->", dm, t))
+        potential = res.energy - kinetic
+        assert 1.5 < -potential / kinetic < 2.5
+
+    def test_open_shell_rejected(self):
+        mol = Molecule.from_angstrom([("H", (0, 0, 0))])
+        with pytest.raises(ValueError):
+            run_rhf(mol)
+
+    def test_orbital_count(self):
+        res = run_rhf(h2o())
+        assert res.num_orbitals == 7
+        assert res.num_occupied == 5
+
+    def test_mo_orthonormal(self):
+        res = run_rhf(h2o())
+        c, s = res.mo_coeff, res.overlap
+        assert np.allclose(c.T @ s @ c, np.eye(7), atol=1e-8)
+
+    def test_nuclear_repulsion_h2(self):
+        # Two protons at 0.7414 A = 1.40104 Bohr: 1/r = 0.7137 Ha
+        assert np.isclose(h2().nuclear_repulsion(), 0.71375, atol=2e-4)
+
+
+class TestMOTransformAndMP2:
+    def test_mo_fock_diagonal(self):
+        """In the MO basis the Fock matrix is diagonal with the orbital
+        energies — an end-to-end check of the transformation."""
+        res = run_rhf(h2o())
+        mo = transform_to_mo(res)
+        n_occ = mo.num_occupied
+        f = mo.h_mo.copy()
+        for p in range(mo.num_orbitals):
+            for q in range(mo.num_orbitals):
+                for i in range(n_occ):
+                    f[p, q] += 2.0 * mo.eri_mo[p, q, i, i] - mo.eri_mo[p, i, i, q]
+        assert np.allclose(f, np.diag(res.mo_energies), atol=1e-7)
+
+    def test_hf_energy_from_mo_integrals(self):
+        res = run_rhf(h2o())
+        mh = build_molecular_hamiltonian(res)
+        assert np.isclose(mh.hartree_fock_energy(), res.energy, atol=1e-8)
+
+    def test_h2_mp2_energy(self):
+        res = run_rhf(h2())
+        mh = build_molecular_hamiltonian(res)
+        mp2 = run_mp2(mh, res.mo_energies)
+        # Literature H2/STO-3G MP2 correlation: about -0.01310 Ha
+        assert np.isclose(mp2.correlation_energy, -0.01310, atol=3e-4)
+        assert mp2.correlation_energy < 0
+
+    def test_h2o_mp2_negative_and_bounded(self):
+        res = run_rhf(h2o())
+        mh = build_molecular_hamiltonian(res)
+        mp2 = run_mp2(mh, res.mo_energies)
+        assert -0.1 < mp2.correlation_energy < -0.01
+
+    def test_mp2_amplitude_antisymmetry(self):
+        res = run_rhf(h4_chain())
+        mh = build_molecular_hamiltonian(res)
+        mp2 = run_mp2(mh, res.mo_energies)
+        t2 = mp2.t2
+        assert np.allclose(t2, -t2.transpose(1, 0, 2, 3), atol=1e-10)
+        assert np.allclose(t2, -t2.transpose(0, 1, 3, 2), atol=1e-10)

@@ -1,0 +1,128 @@
+"""Tests for the classical optimizers and the adjoint gradients."""
+
+import numpy as np
+import pytest
+
+from repro.chem.reference import hartree_fock_state
+from repro.chem.uccsd import uccsd_generators
+from repro.ir.pauli import PauliSum
+from repro.opt import (
+    SPSA,
+    Adam,
+    AnsatzObjective,
+    Cobyla,
+    GradientDescent,
+    LBFGSB,
+    NelderMead,
+    finite_difference_gradient,
+)
+
+
+def quadratic(x):
+    return float(np.sum((x - np.array([1.0, -2.0])) ** 2))
+
+
+def quadratic_grad(x):
+    return 2.0 * (x - np.array([1.0, -2.0]))
+
+
+class TestOptimizersOnQuadratic:
+    def test_nelder_mead(self):
+        res = NelderMead().minimize(quadratic, np.zeros(2))
+        assert np.allclose(res.x, [1.0, -2.0], atol=1e-4)
+        assert res.converged
+
+    def test_cobyla(self):
+        res = Cobyla().minimize(quadratic, np.zeros(2))
+        assert np.allclose(res.x, [1.0, -2.0], atol=1e-3)
+
+    def test_lbfgsb_with_gradient(self):
+        res = LBFGSB().minimize(quadratic, np.zeros(2), gradient=quadratic_grad)
+        assert np.allclose(res.x, [1.0, -2.0], atol=1e-6)
+        assert res.nfev < 30
+
+    def test_adam(self):
+        res = Adam(max_iterations=2000, learning_rate=0.1).minimize(
+            quadratic, np.zeros(2), gradient=quadratic_grad
+        )
+        assert np.allclose(res.x, [1.0, -2.0], atol=1e-3)
+
+    def test_gradient_descent(self):
+        res = GradientDescent(learning_rate=0.3).minimize(
+            quadratic, np.zeros(2), gradient=quadratic_grad
+        )
+        assert np.allclose(res.x, [1.0, -2.0], atol=1e-4)
+
+    def test_spsa_reduces_value(self):
+        res = SPSA(max_iterations=400, seed=3).minimize(quadratic, np.array([3.0, 3.0]))
+        assert res.fun < quadratic(np.array([3.0, 3.0])) * 0.1
+
+    def test_gradient_required(self):
+        with pytest.raises(ValueError):
+            Adam().minimize(quadratic, np.zeros(2))
+        with pytest.raises(ValueError):
+            GradientDescent().minimize(quadratic, np.zeros(2))
+
+    def test_history_recorded(self):
+        res = NelderMead().minimize(quadratic, np.zeros(2))
+        assert len(res.history) > 1
+        assert res.history[-1] <= res.history[0]
+
+
+class TestFiniteDifference:
+    def test_matches_analytic(self):
+        x = np.array([0.3, -0.7])
+        fd = finite_difference_gradient(quadratic, x)
+        assert np.allclose(fd, quadratic_grad(x), atol=1e-5)
+
+
+@pytest.fixture(scope="module")
+def h2_objective():
+    from repro.chem.hamiltonian import build_molecular_hamiltonian
+    from repro.chem.molecule import h2
+    from repro.chem.scf import run_rhf
+
+    scf = run_rhf(h2())
+    hq = build_molecular_hamiltonian(scf).to_qubit()
+    gens = [a for _, a in uccsd_generators(4, 2)]
+    ref = hartree_fock_state(4, 2)
+    return AnsatzObjective(ref, gens, hq)
+
+
+class TestAnsatzObjective:
+    def test_zero_params_is_hf(self, h2_objective):
+        from repro.chem.molecule import h2
+        from repro.chem.scf import run_rhf
+
+        e = h2_objective.energy(np.zeros(3))
+        assert np.isclose(e, run_rhf(h2()).energy, atol=1e-8)
+
+    def test_adjoint_matches_finite_difference(self, h2_objective, rng):
+        for _ in range(3):
+            x = rng.normal(scale=0.2, size=3)
+            adj = h2_objective.gradient(x)
+            fd = finite_difference_gradient(h2_objective.energy, x)
+            assert np.allclose(adj, fd, atol=1e-5)
+
+    def test_energy_and_gradient_consistent(self, h2_objective, rng):
+        x = rng.normal(scale=0.1, size=3)
+        e, g = h2_objective.energy_and_gradient(x)
+        assert np.isclose(e, h2_objective.energy(x), atol=1e-12)
+        assert np.allclose(g, h2_objective.gradient(x), atol=1e-12)
+
+    def test_parameter_count_checked(self, h2_objective):
+        with pytest.raises(ValueError):
+            h2_objective.prepare_state(np.zeros(5))
+
+    def test_state_normalized(self, h2_objective, rng):
+        st = h2_objective.prepare_state(rng.normal(scale=0.3, size=3))
+        assert np.isclose(np.linalg.norm(st), 1.0, atol=1e-10)
+
+    def test_lbfgs_reaches_fci(self, h2_objective):
+        from repro.chem.fci import exact_ground_energy
+
+        res = LBFGSB().minimize(
+            h2_objective.energy, np.zeros(3), gradient=h2_objective.gradient
+        )
+        e_fci = exact_ground_energy(h2_objective.hamiltonian, num_particles=2, sz=0)
+        assert abs(res.fun - e_fci) < 1e-6

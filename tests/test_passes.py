@@ -1,0 +1,173 @@
+"""Tests for compiler passes: cancellation, rotation merge, resynthesis,
+and SABRE routing. Every pass must preserve the circuit unitary (up to
+global phase for resynthesis) — checked densely on small registers."""
+
+import numpy as np
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Parameter
+from repro.ir.passes import (
+    CancelAdjacentInverses,
+    MergeRotations,
+    PassManager,
+    ResynthesizeSingleQubitRuns,
+    SabreRouter,
+    default_pass_manager,
+)
+from repro.ir.passes.routing import grid_coupling, linear_coupling
+from repro.utils.linalg import global_phase_aligned
+from tests.test_statevector import random_circuit
+
+
+class TestCancellation:
+    def test_adjacent_self_inverse(self):
+        c = Circuit(1).h(0).h(0)
+        out = CancelAdjacentInverses().run(c)
+        assert len(out) == 0
+
+    def test_s_sdg_pair(self):
+        c = Circuit(1).s(0).sdg(0)
+        assert len(CancelAdjacentInverses().run(c)) == 0
+
+    def test_nested_cancellation_fixed_point(self):
+        c = Circuit(1).h(0).x(0).x(0).h(0)
+        out = PassManager([CancelAdjacentInverses()]).run(c)
+        assert len(out) == 0
+
+    def test_cx_pair_cancels(self):
+        c = Circuit(2).cx(0, 1).cx(0, 1)
+        assert len(CancelAdjacentInverses().run(c)) == 0
+
+    def test_cx_different_qubits_kept(self):
+        c = Circuit(3).cx(0, 1).cx(1, 2).cx(0, 1)
+        out = CancelAdjacentInverses().run(c)
+        assert len(out) == 3  # middle gate blocks cancellation
+
+    def test_interleaved_disjoint_allows_cancel(self):
+        c = Circuit(3).h(0).x(2).h(0)
+        out = CancelAdjacentInverses().run(c)
+        assert [g.name for g in out.gates] == ["x"]
+
+    def test_unitary_preserved(self):
+        c = random_circuit(3, 30, 5)
+        out = CancelAdjacentInverses().run(c)
+        assert np.allclose(out.to_matrix(), c.to_matrix(), atol=1e-9)
+
+
+class TestMergeRotations:
+    def test_merge_same_axis(self):
+        c = Circuit(1).rz(0.3, 0).rz(0.4, 0)
+        out = MergeRotations().run(c)
+        assert len(out) == 1
+        assert np.isclose(float(out.gates[0].params[0]), 0.7)
+
+    def test_merge_to_zero_drops(self):
+        c = Circuit(1).rx(0.5, 0).rx(-0.5, 0)
+        out = MergeRotations().run(c)
+        assert len(out) == 0
+
+    def test_different_axes_kept(self):
+        c = Circuit(1).rx(0.5, 0).rz(0.5, 0)
+        assert len(MergeRotations().run(c)) == 2
+
+    def test_symbolic_merge(self):
+        p = Parameter("t")
+        c = Circuit(1).rz(p, 0).rz(2.0 * p, 0)
+        out = MergeRotations().run(c)
+        assert len(out) == 1
+        assert out.bind({"t": 1.0}).gates[0].params[0] == 3.0
+
+    def test_two_qubit_rotation_merge(self):
+        c = Circuit(2).add("rzz", [0, 1], 0.2).add("rzz", [0, 1], 0.3)
+        out = MergeRotations().run(c)
+        assert len(out) == 1
+
+    def test_unitary_preserved(self):
+        c = random_circuit(3, 30, 6)
+        out = default_pass_manager().run(c)
+        assert len(out) <= len(c)
+        assert np.allclose(out.to_matrix(), c.to_matrix(), atol=1e-9)
+
+
+class TestResynthesis:
+    def test_run_collapses_to_u3(self):
+        c = Circuit(1).h(0).t(0).s(0).h(0).x(0)
+        out = ResynthesizeSingleQubitRuns().run(c)
+        assert len(out) == 1
+        assert out.gates[0].name == "u3"
+        assert global_phase_aligned(
+            out.to_matrix()[:, 0], c.to_matrix()[:, 0]
+        )
+
+    def test_identity_run_dropped(self):
+        c = Circuit(1).x(0).x(0)
+        out = ResynthesizeSingleQubitRuns().run(c)
+        assert len(out) == 0
+
+    def test_preserves_unitary_up_to_phase(self):
+        c = random_circuit(3, 25, 8)
+        out = ResynthesizeSingleQubitRuns().run(c)
+        v1 = c.to_matrix()[:, 0]
+        v2 = out.to_matrix()[:, 0]
+        assert global_phase_aligned(v1, v2, atol=1e-8)
+
+    def test_2q_gate_flushes_runs(self):
+        c = Circuit(2).h(0).t(0).cx(0, 1).h(0)
+        out = ResynthesizeSingleQubitRuns().run(c)
+        names = [g.name for g in out.gates]
+        assert names == ["u3", "cx", "h"]
+
+
+class TestSabreRouting:
+    def test_linear_coupling_shape(self):
+        g = linear_coupling(5)
+        assert g.number_of_edges() == 4
+
+    def test_grid_coupling_shape(self):
+        g = grid_coupling(2, 3)
+        assert g.number_of_nodes() == 6
+        assert g.number_of_edges() == 7
+
+    def test_already_routed_unchanged(self):
+        c = Circuit(3).cx(0, 1).cx(1, 2)
+        router = SabreRouter(linear_coupling(3))
+        out = router.run(c)
+        assert router.swap_count == 0
+        assert len(out) == 2
+
+    def test_inserts_swaps_for_distant_pair(self):
+        c = Circuit(4).cx(0, 3)
+        router = SabreRouter(linear_coupling(4))
+        out = router.run(c)
+        assert router.swap_count >= 1
+        # every 2q gate in the output must respect the coupling graph
+        g = linear_coupling(4)
+        for gate in out.gates:
+            if gate.num_qubits == 2:
+                assert g.has_edge(*gate.qubits)
+
+    def test_routed_circuit_state_equivalent(self):
+        """Undo the final layout permutation and compare states."""
+        n = 4
+        c = random_circuit(n, 20, 3)
+        router = SabreRouter(linear_coupling(n))
+        routed = router.run(c)
+        from repro.sim.statevector import StatevectorSimulator
+
+        s_ref = StatevectorSimulator(n).run(c).copy()
+        s_routed = StatevectorSimulator(n).run(routed).copy()
+        # permute routed state back: logical q lives at physical l2p[q]
+        l2p = router.final_layout
+        perm_state = np.zeros_like(s_routed)
+        for phys_idx in range(1 << n):
+            logical_idx = 0
+            for q in range(n):
+                bit = (phys_idx >> l2p[q]) & 1
+                logical_idx |= bit << q
+            perm_state[logical_idx] = s_routed[phys_idx]
+        assert np.allclose(perm_state, s_ref, atol=1e-9)
+
+    def test_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            SabreRouter(linear_coupling(2)).run(Circuit(3).h(0))

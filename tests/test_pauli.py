@@ -1,0 +1,193 @@
+"""Tests for the Pauli-string / Pauli-sum algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.pauli import PauliString, PauliSum
+from repro.utils.linalg import random_statevector
+
+I2 = np.eye(2, dtype=complex)
+MX = np.array([[0, 1], [1, 0]], dtype=complex)
+MY = np.array([[0, -1j], [1j, 0]], dtype=complex)
+MZ = np.array([[1, 0], [0, -1]], dtype=complex)
+MATS = {"I": I2, "X": MX, "Y": MY, "Z": MZ}
+
+
+def dense_from_label(label: str) -> np.ndarray:
+    """Literal tensor product, label[0] = highest qubit."""
+    out = np.eye(1, dtype=complex)
+    for ch in label:
+        out = np.kron(out, MATS[ch])
+    return out
+
+
+labels = st.text(alphabet="IXYZ", min_size=1, max_size=5)
+
+
+class TestPauliString:
+    def test_label_roundtrip(self):
+        for lbl in ["X", "IZ", "XYZ", "IIII", "YXZI"]:
+            assert PauliString.from_label(lbl).label() == lbl
+
+    def test_from_ops(self):
+        p = PauliString.from_ops(3, {0: "X", 2: "Z"})
+        assert p.label() == "ZIX"
+
+    def test_invalid_char(self):
+        with pytest.raises(ValueError):
+            PauliString.from_label("XQ")
+
+    @given(labels)
+    def test_matrix_matches_tensor_product(self, lbl):
+        p = PauliString.from_label(lbl)
+        assert np.allclose(p.to_matrix(), dense_from_label(lbl))
+
+    @given(labels)
+    def test_hermitian(self, lbl):
+        m = PauliString.from_label(lbl).to_matrix()
+        assert np.allclose(m, m.conj().T)
+
+    @given(labels, labels)
+    def test_product_phase(self, a, b):
+        n = max(len(a), len(b))
+        a = a.rjust(n, "I")
+        b = b.rjust(n, "I")
+        pa, pb = PauliString.from_label(a), PauliString.from_label(b)
+        phase, pc = pa.mul(pb)
+        assert np.allclose(
+            phase * pc.to_matrix(), dense_from_label(a) @ dense_from_label(b)
+        )
+
+    @given(labels, labels)
+    def test_commutation_predicate(self, a, b):
+        n = max(len(a), len(b))
+        a, b = a.rjust(n, "I"), b.rjust(n, "I")
+        pa, pb = PauliString.from_label(a), PauliString.from_label(b)
+        ma, mb = dense_from_label(a), dense_from_label(b)
+        commutes = np.allclose(ma @ mb, mb @ ma)
+        assert pa.commutes_with(pb) == commutes
+
+    def test_qubitwise_commutes(self):
+        a = PauliString.from_label("XIZ")
+        b = PauliString.from_label("XZI")
+        c = PauliString.from_label("ZIZ")
+        assert a.qubitwise_commutes_with(b)
+        assert not a.qubitwise_commutes_with(c)
+
+    @given(labels)
+    def test_apply_matches_matrix(self, lbl):
+        p = PauliString.from_label(lbl)
+        state = random_statevector(len(lbl), np.random.default_rng(3))
+        assert np.allclose(p.apply(state), p.to_matrix() @ state)
+
+    @given(labels)
+    def test_expectation_real(self, lbl):
+        p = PauliString.from_label(lbl)
+        state = random_statevector(len(lbl), np.random.default_rng(5))
+        val = p.expectation(state)
+        assert abs(val.imag) < 1e-10
+        assert -1.0 - 1e-9 <= val.real <= 1.0 + 1e-9
+
+    def test_support_and_weight(self):
+        p = PauliString.from_label("XIYZ")
+        assert p.support == (0, 1, 3)
+        assert p.weight == 3
+        assert not p.is_identity
+        assert PauliString.identity(4).is_identity
+
+    def test_diagonal(self):
+        assert PauliString.from_label("ZIZ").is_diagonal
+        assert not PauliString.from_label("XIZ").is_diagonal
+
+
+class TestPauliSum:
+    def test_add_collapses(self):
+        h = PauliSum.from_label_dict({"XX": 1.0, "ZZ": 2.0})
+        g = PauliSum.from_label_dict({"XX": -1.0})
+        s = h + g
+        assert s.num_terms == 1
+        assert s.coefficient(PauliString.from_label("ZZ")) == 2.0
+
+    def test_scalar_mul(self):
+        h = PauliSum.from_label_dict({"XY": 2.0})
+        assert (h * 0.5).coefficient(PauliString.from_label("XY")) == 1.0
+
+    @given(labels, labels)
+    def test_dot_matches_dense(self, a, b):
+        n = max(len(a), len(b))
+        a, b = a.rjust(n, "I"), b.rjust(n, "I")
+        ha = PauliSum.from_label_dict({a: 1.5})
+        hb = PauliSum.from_label_dict({b: -0.5j})
+        prod = ha.dot(hb)
+        assert np.allclose(
+            prod.to_matrix(),
+            1.5 * dense_from_label(a) @ (-0.5j * dense_from_label(b)),
+        )
+
+    def test_commutator_matches_dense(self):
+        h = PauliSum.from_label_dict({"XX": 1.0, "ZI": 0.5, "IY": -0.25})
+        g = PauliSum.from_label_dict({"ZZ": 0.7, "XI": 0.2})
+        comm = h.commutator(g)
+        mh, mg = h.to_matrix(), g.to_matrix()
+        assert np.allclose(comm.to_matrix(), mh @ mg - mg @ mh)
+
+    def test_commutator_of_commuting_is_zero(self):
+        h = PauliSum.from_label_dict({"ZZ": 1.0})
+        g = PauliSum.from_label_dict({"ZI": 2.0, "IZ": -1.0})
+        assert h.commutator(g).num_terms == 0
+
+    def test_hermiticity_checks(self):
+        h = PauliSum.from_label_dict({"XX": 1.0, "ZZ": -0.5})
+        assert h.is_hermitian()
+        a = PauliSum.from_label_dict({"XY": 1j})
+        assert a.is_anti_hermitian()
+        assert not a.is_hermitian()
+
+    def test_apply_and_expectation(self, rng):
+        h = PauliSum.from_label_dict({"XX": 1.0, "ZZ": 1.0, "II": 0.5})
+        state = random_statevector(2, rng)
+        dense = h.to_matrix()
+        assert np.allclose(h.apply(state), dense @ state)
+        assert np.isclose(
+            h.expectation(state).real, np.vdot(state, dense @ state).real
+        )
+
+    def test_ground_energy_small(self):
+        # H = Z has ground energy -1.
+        h = PauliSum.from_label_dict({"Z": 1.0})
+        assert np.isclose(h.ground_energy(), -1.0)
+
+    def test_ground_energy_sparse_path(self):
+        # 7 qubits forces the eigsh path; transverse-field-free Ising chain
+        # ZZ couplings with all -1 coefficients: ground energy = -(n-1).
+        n = 7
+        terms = {}
+        for i in range(n - 1):
+            lbl = ["I"] * n
+            lbl[n - 1 - i] = "Z"
+            lbl[n - 2 - i] = "Z"
+            terms["".join(lbl)] = -1.0
+        h = PauliSum.from_label_dict(terms)
+        assert np.isclose(h.ground_energy(), -(n - 1))
+
+    def test_chop(self):
+        h = PauliSum.from_label_dict({"XX": 1.0, "ZZ": 1e-15})
+        assert h.chop(1e-12).num_terms == 1
+
+    def test_grouping_covers_all_terms(self):
+        h = PauliSum.from_label_dict(
+            {"XX": 1.0, "ZZ": 0.5, "XI": 0.3, "IZ": 0.2, "YY": -0.1}
+        )
+        groups = h.group_qubitwise_commuting()
+        total_terms = sum(len(g) for g in groups)
+        assert total_terms == h.num_terms
+        for group in groups:
+            for i, (_, a) in enumerate(group):
+                for _, b in group[i + 1:]:
+                    assert a.qubitwise_commutes_with(b)
+
+    def test_norm1(self):
+        h = PauliSum.from_label_dict({"XX": 3.0, "ZZ": -4.0})
+        assert h.norm1() == 7.0

@@ -1,0 +1,184 @@
+"""Cross-cutting property-based tests (hypothesis) tying the algebraic
+layers together: fermionic algebra vs its qubit image, Pauli-ring
+axioms, kernel invertibility, and grouping invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.fermion import FermionOperator
+from repro.chem.mappings import jordan_wigner
+from repro.ir.circuit import Circuit
+from repro.ir.gates import GATE_SET, Gate
+from repro.ir.pauli import PauliString, PauliSum
+from repro.sim.statevector import StatevectorSimulator
+from repro.utils.linalg import random_statevector
+
+N_MODES = 3  # small enough for dense checks, big enough for Z-strings
+
+# -- strategies ---------------------------------------------------------------
+
+ladder_ops = st.lists(
+    st.tuples(st.integers(0, N_MODES - 1), st.booleans()),
+    min_size=0,
+    max_size=4,
+)
+coeffs = st.complex_numbers(
+    min_magnitude=0.1, max_magnitude=2.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def fermion_operators(draw, max_terms=3):
+    op = FermionOperator()
+    for _ in range(draw(st.integers(1, max_terms))):
+        term = draw(ladder_ops)
+        c = draw(coeffs)
+        op = op + FermionOperator.term(term, c)
+    return op
+
+
+@st.composite
+def pauli_sums(draw, n=3, max_terms=4):
+    out = PauliSum.zero(n)
+    for _ in range(draw(st.integers(1, max_terms))):
+        x = draw(st.integers(0, (1 << n) - 1))
+        z = draw(st.integers(0, (1 << n) - 1))
+        out.add_term(PauliString(n, x, z), draw(coeffs))
+    return out
+
+
+# -- fermion algebra vs qubit image ---------------------------------------------
+
+
+class TestFermionJWHomomorphism:
+    @given(fermion_operators())
+    def test_normal_ordering_preserves_operator(self, op):
+        """normal_ordered() must not change the physical operator:
+        identical JW matrices before and after."""
+        before = jordan_wigner(op, N_MODES).to_matrix()
+        after = jordan_wigner(op.normal_ordered(), N_MODES).to_matrix()
+        assert np.allclose(before, after, atol=1e-9)
+
+    @given(fermion_operators(max_terms=2), fermion_operators(max_terms=2))
+    def test_jw_is_homomorphism(self, a, b):
+        """JW(A * B) == JW(A) @ JW(B)."""
+        lhs = jordan_wigner(a * b, N_MODES).to_matrix()
+        rhs = (
+            jordan_wigner(a, N_MODES).to_matrix()
+            @ jordan_wigner(b, N_MODES).to_matrix()
+        )
+        assert np.allclose(lhs, rhs, atol=1e-8)
+
+    @given(fermion_operators(max_terms=2))
+    def test_dagger_is_conjugate_transpose(self, a):
+        lhs = jordan_wigner(a.dagger(), N_MODES).to_matrix()
+        rhs = jordan_wigner(a, N_MODES).to_matrix().conj().T
+        assert np.allclose(lhs, rhs, atol=1e-8)
+
+    @given(fermion_operators(max_terms=2), fermion_operators(max_terms=2))
+    def test_dagger_antihomomorphism(self, a, b):
+        """(A B)^dag == B^dag A^dag at the operator-algebra level."""
+        lhs = ((a * b).dagger() - b.dagger() * a.dagger()).normal_ordered()
+        assert all(abs(c) < 1e-9 for c in lhs.chop(0.0).terms.values())
+
+
+# -- Pauli ring axioms ---------------------------------------------------------------
+
+
+class TestPauliRing:
+    @given(pauli_sums(), pauli_sums(), pauli_sums())
+    def test_mul_associative(self, a, b, c):
+        lhs = a.dot(b).dot(c)
+        rhs = a.dot(b.dot(c))
+        diff = (lhs - rhs).chop(1e-8)
+        assert diff.num_terms == 0
+
+    @given(pauli_sums(), pauli_sums(), pauli_sums())
+    def test_distributive(self, a, b, c):
+        lhs = a.dot(b + c)
+        rhs = a.dot(b) + a.dot(c)
+        assert (lhs - rhs).chop(1e-8).num_terms == 0
+
+    @given(pauli_sums(), pauli_sums())
+    def test_commutator_antisymmetric(self, a, b):
+        lhs = a.commutator(b) + b.commutator(a)
+        assert lhs.chop(1e-8).num_terms == 0
+
+    @given(pauli_sums(), pauli_sums(), pauli_sums())
+    def test_jacobi_identity(self, a, b, c):
+        total = (
+            a.commutator(b.commutator(c))
+            + b.commutator(c.commutator(a))
+            + c.commutator(a.commutator(b))
+        )
+        assert total.chop(1e-7).num_terms == 0
+
+    @given(pauli_sums())
+    def test_apply_linear(self, a):
+        rng = np.random.default_rng(0)
+        u = random_statevector(3, rng)
+        v = random_statevector(3, rng)
+        lhs = a.apply(u + 0.5j * v)
+        rhs = a.apply(u) + 0.5j * a.apply(v)
+        assert np.allclose(lhs, rhs, atol=1e-10)
+
+    @given(pauli_sums())
+    def test_hermitization(self, a):
+        """A + A^dag is always Hermitian (conjugate coefficients)."""
+        herm = a + PauliSum(
+            a.num_qubits, {k: v.conjugate() for k, v in a.terms.items()}
+        )
+        assert herm.is_hermitian()
+
+
+# -- kernel invertibility ------------------------------------------------------------
+
+
+class TestKernelInvertibility:
+    @given(
+        st.sampled_from(
+            [n for n, (nq, npar, _) in GATE_SET.items() if npar <= 1]
+        ),
+        st.floats(-3.0, 3.0),
+        st.integers(0, 2),
+    )
+    @settings(max_examples=60)
+    def test_gate_then_inverse_is_identity(self, name, theta, qubit):
+        nq, npar, _ = GATE_SET[name]
+        qubits = (qubit,) if nq == 1 else (qubit, (qubit + 1) % 3)
+        params = (theta,) if npar else ()
+        g = Gate(name, qubits, params)
+        state0 = random_statevector(3, np.random.default_rng(7))
+        sim = StatevectorSimulator(3)
+        sim.set_state(state0)
+        sim.apply_gate(g)
+        sim.apply_gate(g.dagger())
+        assert np.allclose(sim.state, state0, atol=1e-10)
+
+
+# -- grouping invariants -----------------------------------------------------------------
+
+
+class TestGroupingInvariants:
+    @given(pauli_sums(max_terms=6))
+    def test_qwc_partition(self, h):
+        groups = h.group_qubitwise_commuting()
+        seen = set()
+        count = 0
+        for g in groups:
+            for _, p in g:
+                key = (p.x, p.z)
+                assert key not in seen
+                seen.add(key)
+                count += 1
+        assert count == h.num_terms
+
+    @given(pauli_sums(max_terms=6))
+    def test_group_sum_reconstructs(self, h):
+        """Coefficient-weighted union of groups equals the original."""
+        rebuilt = PauliSum.zero(h.num_qubits)
+        for g in h.group_qubitwise_commuting():
+            for c, p in g:
+                rebuilt.add_term(p, c)
+        assert (rebuilt - h).chop(1e-12).num_terms == 0

@@ -1,0 +1,143 @@
+"""Tests for QASM I/O, the density-matrix simulator, and noise channels."""
+
+import numpy as np
+import pytest
+
+from repro.ir.circuit import Circuit
+from repro.ir.pauli import PauliSum
+from repro.ir.qasm import from_qasm, to_qasm
+from repro.sim.density_matrix import DensityMatrixSimulator
+from repro.sim.noise import (
+    AmplitudeDampingChannel,
+    BitFlipChannel,
+    DepolarizingChannel,
+    NoiseModel,
+    PhaseDampingChannel,
+    PhaseFlipChannel,
+)
+from repro.sim.statevector import StatevectorSimulator
+from tests.test_statevector import random_circuit
+
+
+class TestQasm:
+    def test_roundtrip_simple(self):
+        c = Circuit(2).h(0).cx(0, 1).rz(0.5, 1)
+        c2 = from_qasm(to_qasm(c))
+        assert np.allclose(c2.to_matrix(), c.to_matrix(), atol=1e-12)
+
+    def test_roundtrip_random(self):
+        c = random_circuit(3, 25, 4)
+        c2 = from_qasm(to_qasm(c))
+        assert np.allclose(c2.to_matrix(), c.to_matrix(), atol=1e-9)
+
+    def test_rzz_decomposed(self):
+        c = Circuit(2).add("rzz", [0, 1], 0.7)
+        text = to_qasm(c)
+        assert "cx" in text and "rz" in text
+        c2 = from_qasm(text)
+        assert np.allclose(c2.to_matrix(), c.to_matrix(), atol=1e-12)
+
+    def test_pi_expression(self):
+        text = 'OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\n'
+        c = from_qasm(text)
+        assert np.isclose(float(c.gates[0].params[0]), np.pi / 2)
+
+    def test_unbound_rejected(self):
+        from repro.ir.gates import Parameter
+
+        with pytest.raises(ValueError):
+            to_qasm(Circuit(1).rz(Parameter("x"), 0))
+
+    def test_bad_line_rejected(self):
+        with pytest.raises(ValueError):
+            from_qasm('OPENQASM 2.0;\nqreg q[1];\nfoo bar;\n')
+
+
+class TestChannels:
+    @pytest.mark.parametrize(
+        "channel",
+        [
+            DepolarizingChannel(0.1),
+            AmplitudeDampingChannel(0.2),
+            PhaseDampingChannel(0.3),
+            BitFlipChannel(0.25),
+            PhaseFlipChannel(0.15),
+        ],
+    )
+    def test_cptp(self, channel):
+        assert channel.is_cptp(1)
+
+    def test_depolarizing_2q_cptp(self):
+        assert DepolarizingChannel(0.05).is_cptp(2)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            DepolarizingChannel(1.5)
+        with pytest.raises(ValueError):
+            AmplitudeDampingChannel(-0.1)
+
+    def test_full_depolarizing_gives_mixed(self):
+        sim = DensityMatrixSimulator(1)
+        sim.run(Circuit(1).h(0))
+        sim.apply_channel(DepolarizingChannel(0.75), (0,))
+        # p=3/4 depolarizing maps any state to I/2.
+        assert np.allclose(sim.rho, np.eye(2) / 2, atol=1e-10)
+
+    def test_amplitude_damping_decays_excited(self):
+        sim = DensityMatrixSimulator(1)
+        sim.run(Circuit(1).x(0))
+        sim.apply_channel(AmplitudeDampingChannel(1.0), (0,))
+        assert np.isclose(sim.rho[0, 0].real, 1.0)
+
+
+class TestDensityMatrix:
+    def test_pure_evolution_matches_statevector(self):
+        c = random_circuit(3, 20, 2)
+        dm = DensityMatrixSimulator(3)
+        dm.run(c)
+        sv = StatevectorSimulator(3).run(c)
+        assert np.allclose(dm.rho, np.outer(sv, sv.conj()), atol=1e-9)
+
+    def test_trace_preserved_with_noise(self):
+        model = NoiseModel().add_all_qubit_channel(DepolarizingChannel(0.02))
+        dm = DensityMatrixSimulator(2, noise_model=model)
+        dm.run(Circuit(2).h(0).cx(0, 1).rz(0.4, 1))
+        assert np.isclose(np.trace(dm.rho).real, 1.0, atol=1e-10)
+
+    def test_noise_reduces_purity(self):
+        model = NoiseModel().add_all_qubit_channel(DepolarizingChannel(0.05))
+        dm = DensityMatrixSimulator(2, noise_model=model)
+        dm.run(Circuit(2).h(0).cx(0, 1))
+        assert dm.purity() < 1.0 - 1e-6
+
+    def test_expectation_matches_statevector_when_noiseless(self, rng):
+        c = random_circuit(3, 15, 7)
+        h = PauliSum.from_label_dict({"ZZI": 1.0, "XIX": 0.5, "IYY": -0.3})
+        dm = DensityMatrixSimulator(3)
+        dm.run(c)
+        sv = StatevectorSimulator(3).run(c)
+        from repro.sim.expectation import expectation_direct
+
+        assert np.isclose(dm.expectation(h), expectation_direct(sv, h), atol=1e-9)
+
+    def test_noisy_expectation_damped_toward_zero(self):
+        """Depolarizing noise shrinks |<ZZ>| on a Bell state."""
+        h = PauliSum.from_label_dict({"ZZ": 1.0})
+        bell = Circuit(2).h(0).cx(0, 1)
+        clean = DensityMatrixSimulator(2)
+        clean.run(bell)
+        noisy = DensityMatrixSimulator(
+            2, NoiseModel().add_all_qubit_channel(DepolarizingChannel(0.1))
+        )
+        noisy.run(bell)
+        assert abs(noisy.expectation(h)) < abs(clean.expectation(h))
+
+    def test_sample_counts(self, rng):
+        dm = DensityMatrixSimulator(2)
+        dm.run(Circuit(2).h(0).cx(0, 1))
+        counts = dm.sample_counts(2000, rng)
+        assert set(counts) <= {0b00, 0b11}
+
+    def test_width_guard(self):
+        with pytest.raises(ValueError):
+            DensityMatrixSimulator(14)

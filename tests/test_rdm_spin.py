@@ -1,0 +1,132 @@
+"""Tests for reduced density matrices and spin operators — including
+the energy-reconstruction identity that cross-checks the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.chem.fci import exact_ground_state
+from repro.chem.hamiltonian import build_molecular_hamiltonian
+from repro.chem.molecule import h2
+from repro.chem.rdm import (
+    energy_from_rdms,
+    natural_occupations,
+    one_rdm,
+    two_rdm,
+)
+from repro.chem.reference import hartree_fock_state
+from repro.chem.scf import run_rhf
+from repro.chem.spin import s_squared_operator, s_z_operator, spin_expectations
+from repro.chem.uccsd import uccsd_generators
+from repro.core.vqd import run_vqd
+from repro.core.vqe import VQE
+
+
+@pytest.fixture(scope="module")
+def h2_solution():
+    scf = run_rhf(h2())
+    mh = build_molecular_hamiltonian(scf)
+    hq = mh.to_qubit()
+    e, state = exact_ground_state(hq, num_particles=2, sz=0)
+    return scf, mh, hq, e, state
+
+
+class TestOneRDM:
+    def test_hf_determinant(self):
+        state = hartree_fock_state(4, 2)
+        d1 = one_rdm(state, 4)
+        assert np.allclose(d1, np.diag([1, 1, 0, 0]), atol=1e-10)
+
+    def test_trace_is_particle_number(self, h2_solution):
+        *_, state = h2_solution
+        d1 = one_rdm(state, 4)
+        assert np.isclose(np.trace(d1).real, 2.0, atol=1e-8)
+
+    def test_hermitian_and_bounded(self, h2_solution):
+        *_, state = h2_solution
+        d1 = one_rdm(state, 4)
+        assert np.allclose(d1, d1.conj().T, atol=1e-10)
+        occ = np.linalg.eigvalsh(d1)
+        assert np.all(occ > -1e-9) and np.all(occ < 1 + 1e-9)
+
+    def test_natural_occupations_correlated(self, h2_solution):
+        """FCI H2 has fractional natural occupations (unlike HF)."""
+        *_, state = h2_solution
+        occ = natural_occupations(one_rdm(state, 4))
+        assert occ[0] < 1.0 - 1e-3  # depleted bonding orbital
+        assert occ[-1] > 1e-3       # populated antibonding orbital
+
+
+class TestTwoRDM:
+    def test_antisymmetry(self, h2_solution):
+        *_, state = h2_solution
+        d2 = two_rdm(state, 4)
+        assert np.allclose(d2, -d2.transpose(1, 0, 2, 3), atol=1e-10)
+        assert np.allclose(d2, -d2.transpose(0, 1, 3, 2), atol=1e-10)
+
+    def test_partial_trace_gives_one_rdm(self, h2_solution):
+        """sum_q D2[p,q,r,q] = (N-1) D1[p,r]."""
+        *_, state = h2_solution
+        d1 = one_rdm(state, 4)
+        d2 = two_rdm(state, 4)
+        traced = np.einsum("pqrq->pr", d2)
+        assert np.allclose(traced, (2 - 1) * d1, atol=1e-8)
+
+    def test_energy_reconstruction_fci(self, h2_solution):
+        """E = const + h.D1 + g.D2/2 must equal the eigenvalue —
+        Hamiltonian, mapping, simulator, and RDMs all consistent."""
+        _, mh, _, e_exact, state = h2_solution
+        d1 = one_rdm(state, 4)
+        d2 = two_rdm(state, 4)
+        assert np.isclose(energy_from_rdms(mh, d1, d2), e_exact, atol=1e-8)
+
+    def test_energy_reconstruction_hf(self, h2_solution):
+        scf, mh, *_ = h2_solution
+        state = hartree_fock_state(4, 2)
+        d1 = one_rdm(state, 4)
+        d2 = two_rdm(state, 4)
+        assert np.isclose(energy_from_rdms(mh, d1, d2), scf.energy, atol=1e-8)
+
+
+class TestSpin:
+    def test_hf_singlet(self):
+        state = hartree_fock_state(4, 2)
+        sz, s2 = spin_expectations(state, 2)
+        assert np.isclose(sz, 0.0, atol=1e-10)
+        assert np.isclose(s2, 0.0, atol=1e-10)
+
+    def test_polarized_state(self):
+        # two alpha electrons (qubits 0 and 2): S_z = 1, S^2 = 2 (triplet)
+        state = np.zeros(16, dtype=complex)
+        state[0b0101] = 1.0
+        sz, s2 = spin_expectations(state, 2)
+        assert np.isclose(sz, 1.0, atol=1e-10)
+        assert np.isclose(s2, 2.0, atol=1e-10)
+
+    def test_vqe_ground_state_is_singlet(self, h2_solution):
+        _, _, hq, _, _ = h2_solution
+        gens = [a for _, a in uccsd_generators(4, 2)]
+        vqe = VQE(hq, generators=gens, reference_state=hartree_fock_state(4, 2))
+        res = vqe.run()
+        state = vqe.objective.prepare_state(res.optimal_parameters)
+        _, s2 = spin_expectations(state, 2)
+        assert abs(s2) < 1e-6
+
+    def test_vqd_first_excited_is_triplet(self, h2_solution):
+        """Physics cross-check: H2's first excited state in the
+        (N=2, Sz=0) sector is the m_s = 0 triplet: <S^2> = 2."""
+        _, _, hq, _, _ = h2_solution
+        gens = [a for _, a in uccsd_generators(4, 2, generalized=True)]
+        res = run_vqd(
+            hq, gens, hartree_fock_state(4, 2), num_states=2, restarts=3
+        )
+        _, s2 = spin_expectations(res.states[1], 2)
+        assert np.isclose(s2, 2.0, atol=1e-4)
+
+    def test_s2_commutes_with_molecular_hamiltonian(self, h2_solution):
+        """[H, S^2] = 0: spin is a symmetry of the Coulomb Hamiltonian."""
+        from repro.chem.mappings import jordan_wigner
+
+        _, mh, hq, _, _ = h2_solution
+        s2_q = jordan_wigner(s_squared_operator(2), 4)
+        comm = hq.commutator(s2_q)
+        assert comm.chop(1e-8).num_terms == 0

@@ -1,0 +1,161 @@
+"""Tests for the stabilizer (tableau) simulator and the CAFQA Clifford
+bootstrap (paper §6.1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.chem.fci import exact_ground_energy
+from repro.chem.hamiltonian import build_molecular_hamiltonian
+from repro.chem.molecule import h2
+from repro.chem.scf import run_rhf
+from repro.core.cafqa import cafqa_bootstrap_vqe, cafqa_search
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Gate
+from repro.ir.library import ghz, hardware_efficient_ansatz
+from repro.ir.pauli import PauliString, PauliSum
+from repro.sim.stabilizer import StabilizerSimulator, is_clifford_angle
+from repro.sim.statevector import StatevectorSimulator
+from repro.utils.linalg import global_phase_aligned
+
+
+def random_clifford_circuit(n: int, num_gates: int, seed: int) -> Circuit:
+    rng = np.random.default_rng(seed)
+    names = ["h", "s", "sdg", "x", "y", "z"]
+    c = Circuit(n)
+    for _ in range(num_gates):
+        r = rng.random()
+        if r < 0.3 and n >= 2:
+            c.append(Gate("cx", tuple(int(x) for x in rng.choice(n, 2, replace=False))))
+        elif r < 0.4 and n >= 2:
+            c.append(Gate("cz", tuple(int(x) for x in rng.choice(n, 2, replace=False))))
+        elif r < 0.7:
+            c.append(Gate(str(rng.choice(names)), (int(rng.integers(n)),)))
+        else:
+            k = int(rng.integers(4))
+            axis = str(rng.choice(["rx", "ry", "rz"]))
+            c.append(Gate(axis, (int(rng.integers(n)),), (k * math.pi / 2,)))
+    return c
+
+
+class TestCliffordAngle:
+    def test_multiples_accepted(self):
+        for k in range(-4, 5):
+            assert is_clifford_angle(k * math.pi / 2)
+
+    def test_generic_rejected(self):
+        assert not is_clifford_angle(0.3)
+
+
+class TestStabilizerSimulator:
+    def test_initial_state(self):
+        sim = StabilizerSimulator(3)
+        for q in range(3):
+            assert sim.expectation_pauli(PauliString.from_ops(3, {q: "Z"})) == 1.0
+
+    def test_ghz_stabilizers(self):
+        sim = StabilizerSimulator(3)
+        sim.run(ghz(3))
+        # GHZ is stabilized by XXX, ZZI, IZZ
+        assert sim.expectation_pauli(PauliString.from_label("XXX")) == 1.0
+        assert sim.expectation_pauli(PauliString.from_label("ZZI")) == 1.0
+        # single Z has zero expectation
+        assert sim.expectation_pauli(PauliString.from_label("ZII")) == 0.0
+
+    def test_bit_flip(self):
+        sim = StabilizerSimulator(2)
+        sim.run(Circuit(2).x(0))
+        assert sim.expectation_pauli(PauliString.from_label("IZ")) == -1.0
+        assert sim.expectation_pauli(PauliString.from_label("ZI")) == 1.0
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_clifford_matches_statevector(self, seed):
+        n = 4
+        c = random_clifford_circuit(n, 30, seed)
+        stab = StabilizerSimulator(n)
+        stab.run(c)
+        sv = StatevectorSimulator(n)
+        sv.run(c)
+        assert global_phase_aligned(stab.statevector(), sv.state, atol=1e-8)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_pauli_expectations(self, seed):
+        n = 4
+        c = random_clifford_circuit(n, 25, seed + 50)
+        stab = StabilizerSimulator(n)
+        stab.run(c)
+        sv = StatevectorSimulator(n)
+        sv.run(c)
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            p = PauliString(n, int(rng.integers(1 << n)), int(rng.integers(1 << n)))
+            assert np.isclose(
+                stab.expectation_pauli(p), p.expectation(sv.state).real, atol=1e-8
+            )
+
+    def test_pauli_sum_expectation(self):
+        sim = StabilizerSimulator(2)
+        sim.run(Circuit(2).h(0).cx(0, 1))  # Bell
+        h = PauliSum.from_label_dict({"ZZ": 1.0, "XX": 1.0, "ZI": 5.0})
+        # Bell: <ZZ> = <XX> = 1, <ZI> = 0
+        assert np.isclose(sim.expectation(h), 2.0)
+
+    def test_non_clifford_rotation_rejected(self):
+        sim = StabilizerSimulator(1)
+        with pytest.raises(ValueError):
+            sim.run(Circuit(1).rz(0.3, 0))
+
+    def test_t_gate_rejected(self):
+        sim = StabilizerSimulator(1)
+        with pytest.raises(ValueError):
+            sim.run(Circuit(1).t(0))
+
+
+@pytest.fixture(scope="module")
+def h2_problem():
+    scf = run_rhf(h2())
+    hq = build_molecular_hamiltonian(scf).to_qubit()
+    return scf, hq
+
+
+class TestCafqa:
+    def test_finds_hf_energy_for_h2(self, h2_problem):
+        """The best stabilizer state of the H2 Hamiltonian is the HF
+        determinant; CAFQA must find it from the |0000> start."""
+        scf, hq = h2_problem
+        ansatz = hardware_efficient_ansatz(4, layers=1)
+        res = cafqa_search(ansatz, hq, restarts=3)
+        assert res.energy <= scf.energy + 1e-9
+        assert res.improved_over_zero
+        # angles all on the Clifford lattice
+        for a in res.angles:
+            assert is_clifford_angle(float(a))
+
+    def test_bootstrap_improves_initialization(self, h2_problem):
+        """VQE warm-started at the CAFQA point must converge to FCI,
+        starting from an energy already at/below HF."""
+        scf, hq = h2_problem
+        e_fci = exact_ground_energy(hq, num_particles=2, sz=0)
+        ansatz = hardware_efficient_ansatz(4, layers=2)
+        from repro.opt.nelder_mead import NelderMead
+
+        search, vqe_res = cafqa_bootstrap_vqe(
+            ansatz, hq, optimizer=NelderMead(max_iterations=3000), restarts=2
+        )
+        assert search.energy <= scf.energy + 1e-9
+        assert vqe_res.energy <= search.energy + 1e-9
+        assert vqe_res.energy < scf.energy - 1e-3  # recovered correlation
+
+    def test_requires_parameters(self, h2_problem):
+        _, hq = h2_problem
+        with pytest.raises(ValueError):
+            cafqa_search(Circuit(4).h(0), hq)
+
+    def test_search_deterministic_given_seed(self, h2_problem):
+        _, hq = h2_problem
+        ansatz = hardware_efficient_ansatz(4, layers=1)
+        r1 = cafqa_search(ansatz, hq, restarts=2, seed=5)
+        r2 = cafqa_search(ansatz, hq, restarts=2, seed=5)
+        assert r1.energy == r2.energy
+        assert np.array_equal(r1.angles, r2.angles)

@@ -1,0 +1,173 @@
+"""Tests for the single-device statevector simulator and kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ir.circuit import Circuit
+from repro.ir.gates import GATE_SET, Gate
+from repro.sim.statevector import StatevectorSimulator
+from repro.utils.linalg import global_phase_aligned, random_statevector, random_unitary
+
+angles = st.floats(min_value=-6.3, max_value=6.3, allow_nan=False)
+
+
+def random_circuit(num_qubits: int, num_gates: int, seed: int) -> Circuit:
+    rng = np.random.default_rng(seed)
+    names_1q = ["x", "y", "z", "h", "s", "sdg", "t", "tdg", "sx", "rx", "ry", "rz", "p", "u3"]
+    names_2q = ["cx", "cz", "swap", "rzz", "rxx", "ryy", "cp", "crz"]
+    c = Circuit(num_qubits)
+    for _ in range(num_gates):
+        if num_qubits >= 2 and rng.random() < 0.4:
+            name = str(rng.choice(names_2q))
+            q = rng.choice(num_qubits, size=2, replace=False)
+            qubits = (int(q[0]), int(q[1]))
+        else:
+            name = str(rng.choice(names_1q))
+            qubits = (int(rng.integers(num_qubits)),)
+        npar = GATE_SET[name][1]
+        params = tuple(float(x) for x in rng.uniform(-np.pi, np.pi, size=npar))
+        c.append(Gate(name, qubits, params))
+    return c
+
+
+class TestSimulatorBasics:
+    def test_initial_state(self):
+        sim = StatevectorSimulator(3)
+        assert np.isclose(sim.state[0], 1.0)
+        assert np.isclose(np.linalg.norm(sim.state), 1.0)
+
+    def test_bell(self):
+        sim = StatevectorSimulator(2)
+        sim.run(Circuit(2).h(0).cx(0, 1))
+        probs = sim.probabilities()
+        assert np.isclose(probs[0b00], 0.5)
+        assert np.isclose(probs[0b11], 0.5)
+
+    def test_ghz(self):
+        n = 5
+        c = Circuit(n).h(0)
+        for i in range(n - 1):
+            c.cx(i, i + 1)
+        sim = StatevectorSimulator(n)
+        sim.run(c)
+        probs = sim.probabilities()
+        assert np.isclose(probs[0], 0.5)
+        assert np.isclose(probs[(1 << n) - 1], 0.5)
+
+    def test_x_flips(self):
+        sim = StatevectorSimulator(3)
+        sim.run(Circuit(3).x(1))
+        assert np.isclose(abs(sim.state[0b010]), 1.0)
+
+    def test_rejects_unbound(self):
+        from repro.ir.gates import Parameter
+
+        sim = StatevectorSimulator(1)
+        with pytest.raises(ValueError):
+            sim.run(Circuit(1).rz(Parameter("t"), 0))
+
+    def test_rejects_mismatched_width(self):
+        sim = StatevectorSimulator(2)
+        with pytest.raises(ValueError):
+            sim.run(Circuit(3).h(0))
+
+    def test_width_guard(self):
+        with pytest.raises(ValueError):
+            StatevectorSimulator(31)
+
+    def test_memory_bytes(self):
+        sim = StatevectorSimulator(10)
+        assert sim.memory_bytes() == (1 << 10) * 16
+
+
+class TestKernelsAgainstDense:
+    """Every gate kernel must match the dense embedded unitary."""
+
+    @given(st.sampled_from(sorted(GATE_SET)), st.data())
+    def test_each_gate_matches_dense(self, name, data):
+        nq, npar, _ = GATE_SET[name]
+        n = 3
+        params = tuple(data.draw(angles) for _ in range(npar))
+        if nq == 1:
+            qubits = (data.draw(st.integers(0, n - 1)),)
+        else:
+            q0 = data.draw(st.integers(0, n - 1))
+            q1 = data.draw(st.integers(0, n - 1).filter(lambda x: x != q0))
+            qubits = (q0, q1)
+        gate = Gate(name, qubits, params)
+        circ = Circuit(n, [gate])
+        state0 = random_statevector(n, np.random.default_rng(42))
+        sim = StatevectorSimulator(n)
+        sim.set_state(state0)
+        sim.apply_gate(gate)
+        expected = circ.to_matrix() @ state0
+        assert np.allclose(sim.state, expected, atol=1e-10)
+
+    def test_opaque_matrix_gates(self, rng):
+        n = 4
+        state0 = random_statevector(n, rng)
+        u = random_unitary(4, rng)
+        gate = Gate("fused2", (1, 3), (), u)
+        sim = StatevectorSimulator(n)
+        sim.set_state(state0)
+        sim.apply_gate(gate)
+        expected = Circuit(n, [gate]).to_matrix() @ state0
+        assert np.allclose(sim.state, expected, atol=1e-10)
+
+    def test_3q_dense_kernel(self, rng):
+        n = 4
+        state0 = random_statevector(n, rng)
+        u = random_unitary(8, rng)
+        gate = Gate("fused3", (0, 2, 3), (), u)
+        sim = StatevectorSimulator(n)
+        sim.set_state(state0)
+        sim.apply_gate(gate)
+        expected = Circuit(n, [gate]).to_matrix() @ state0
+        assert np.allclose(sim.state, expected, atol=1e-10)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_circuits_match_dense(self, seed):
+        n = 4
+        c = random_circuit(n, 30, seed)
+        sim = StatevectorSimulator(n)
+        sim.run(c)
+        expected = c.to_matrix()[:, 0]
+        assert np.allclose(sim.state, expected, atol=1e-9)
+
+    def test_norm_preserved_long_circuit(self):
+        c = random_circuit(5, 200, 9)
+        sim = StatevectorSimulator(5)
+        sim.run(c)
+        assert np.isclose(np.linalg.norm(sim.state), 1.0, atol=1e-9)
+
+
+class TestMeasurement:
+    def test_sample_counts_bell(self, rng):
+        sim = StatevectorSimulator(2)
+        sim.run(Circuit(2).h(0).cx(0, 1))
+        counts = sim.sample_counts(4000, rng)
+        assert set(counts) <= {0b00, 0b11}
+        assert abs(counts.get(0, 0) - 2000) < 300
+
+    def test_measure_collapses(self, rng):
+        sim = StatevectorSimulator(2)
+        sim.run(Circuit(2).h(0).cx(0, 1))
+        outcome = sim.measure_qubit(0, rng)
+        # After measuring one qubit of a Bell pair, the state is a
+        # definite computational basis state.
+        probs = sim.probabilities()
+        assert np.isclose(probs.max(), 1.0)
+        idx = int(np.argmax(probs))
+        assert (idx >> 0) & 1 == outcome
+        assert (idx >> 1) & 1 == outcome
+
+    def test_suffix_execution(self, rng):
+        """apply_circuit continues from the current state (caching path)."""
+        sim = StatevectorSimulator(2)
+        sim.run(Circuit(2).h(0))
+        sim.apply_circuit(Circuit(2).cx(0, 1))
+        probs = sim.probabilities()
+        assert np.isclose(probs[0b00], 0.5)
+        assert np.isclose(probs[0b11], 0.5)

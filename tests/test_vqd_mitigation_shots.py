@@ -1,0 +1,215 @@
+"""Tests for VQD excited states, UCCGSD, error mitigation (ZNE +
+readout), and variance-weighted shot allocation."""
+
+import numpy as np
+import pytest
+
+from repro.chem.fci import sector_indices
+from repro.chem.hamiltonian import build_molecular_hamiltonian
+from repro.chem.molecule import h2
+from repro.chem.reference import hartree_fock_state
+from repro.chem.scf import run_rhf
+from repro.chem.uccsd import uccsd_excitations, uccsd_generators
+from repro.core.shots import allocate_shots, sampled_energy_with_allocation
+from repro.core.vqd import run_vqd
+from repro.ir.circuit import Circuit
+from repro.ir.pauli import PauliSum
+from repro.sim.expectation import expectation_direct
+from repro.sim.mitigation import (
+    ReadoutErrorModel,
+    fold_circuit,
+    mitigate_counts,
+    zne_expectation,
+)
+from repro.sim.noise import DepolarizingChannel, NoiseModel
+from repro.sim.statevector import StatevectorSimulator
+
+
+@pytest.fixture(scope="module")
+def h2_problem():
+    scf = run_rhf(h2())
+    hq = build_molecular_hamiltonian(scf).to_qubit()
+    mat = hq.to_sparse()
+    keep = sector_indices(4, num_particles=2, sz=0)
+    spectrum = np.linalg.eigvalsh(mat[np.ix_(keep, keep)].toarray())
+    return hq, spectrum
+
+
+class TestUCCGSD:
+    def test_generalized_superset_of_standard(self):
+        s_std, d_std = uccsd_excitations(6, 2)
+        s_gen, d_gen = uccsd_excitations(6, 2, generalized=True)
+        assert set(s_std) <= set(s_gen)
+        assert len(d_gen) >= len(d_std)
+
+    def test_generalized_generators_antihermitian(self):
+        for _, a in uccsd_generators(4, 2, generalized=True):
+            assert a.is_anti_hermitian()
+
+    def test_no_duplicate_generators(self):
+        # Distinct pairings of the same 4 orbitals share Pauli strings
+        # but differ in sign patterns, so compare full (key, coeff)
+        # signatures (up to overall sign: A and -A are redundant).
+        gens = uccsd_generators(6, 2, generalized=True)
+        sigs = set()
+        for _, g in gens:
+            items = tuple(sorted((k, complex(v)) for k, v in g.terms.items()))
+            neg = tuple(sorted((k, -complex(v)) for k, v in g.terms.items()))
+            assert items not in sigs and neg not in sigs
+            sigs.add(items)
+
+
+class TestVQD:
+    def test_h2_lowest_three_states(self, h2_problem):
+        hq, spectrum = h2_problem
+        gens = [a for _, a in uccsd_generators(4, 2, generalized=True)]
+        res = run_vqd(
+            hq, gens, hartree_fock_state(4, 2), num_states=3, restarts=3
+        )
+        assert np.allclose(res.energies, spectrum[:3], atol=1e-5)
+
+    def test_states_orthogonal(self, h2_problem):
+        hq, _ = h2_problem
+        gens = [a for _, a in uccsd_generators(4, 2, generalized=True)]
+        res = run_vqd(hq, gens, hartree_fock_state(4, 2), num_states=2)
+        overlap = abs(np.vdot(res.states[0], res.states[1]))
+        assert overlap < 1e-3
+
+    def test_gaps_positive(self, h2_problem):
+        hq, _ = h2_problem
+        gens = [a for _, a in uccsd_generators(4, 2, generalized=True)]
+        res = run_vqd(hq, gens, hartree_fock_state(4, 2), num_states=3, restarts=3)
+        assert all(g > 0 for g in res.gaps)
+
+    def test_single_state_equals_vqe(self, h2_problem):
+        hq, spectrum = h2_problem
+        gens = [a for _, a in uccsd_generators(4, 2)]
+        res = run_vqd(hq, gens, hartree_fock_state(4, 2), num_states=1)
+        assert abs(res.energies[0] - spectrum[0]) < 1e-6
+
+    def test_bad_num_states(self, h2_problem):
+        hq, _ = h2_problem
+        with pytest.raises(ValueError):
+            run_vqd(hq, [], hartree_fock_state(4, 2), num_states=0)
+
+
+class TestFolding:
+    def test_fold_preserves_unitary(self):
+        c = Circuit(2).h(0).cx(0, 1).rz(0.3, 1)
+        for s in (1, 3, 5):
+            folded = fold_circuit(c, s)
+            assert len(folded) == s * len(c)
+            assert np.allclose(folded.to_matrix(), c.to_matrix(), atol=1e-9)
+
+    def test_even_scale_rejected(self):
+        with pytest.raises(ValueError):
+            fold_circuit(Circuit(1).h(0), 2)
+
+
+class TestZNE:
+    def test_extrapolation_recovers_accuracy(self, h2_problem):
+        """ZNE must land closer to the noiseless value than the raw
+        noisy expectation does."""
+        hq, _ = h2_problem
+        from repro.chem.uccsd import build_uccsd_circuit
+
+        ansatz = build_uccsd_circuit(4, 2)
+        bound = ansatz.circuit.bind([0.0, 0.0, -0.107])  # near-optimal
+        exact = expectation_direct(
+            StatevectorSimulator(4).run(bound), hq
+        )
+        noise = NoiseModel().add_all_qubit_channel(DepolarizingChannel(2e-4))
+        mitigated, values = zne_expectation(
+            bound, hq, noise, scale_factors=(1, 3, 5)
+        )
+        raw_err = abs(values[1] - exact)
+        zne_err = abs(mitigated - exact)
+        assert zne_err < raw_err / 2
+        # noise monotonically degrades with folding
+        assert abs(values[5] - exact) > abs(values[1] - exact)
+
+    def test_needs_two_scales(self, h2_problem):
+        hq, _ = h2_problem
+        noise = NoiseModel().add_all_qubit_channel(DepolarizingChannel(1e-3))
+        with pytest.raises(ValueError):
+            zne_expectation(Circuit(4).h(0), hq, noise, scale_factors=(1,))
+
+
+class TestReadoutMitigation:
+    def test_roundtrip(self, rng):
+        model = ReadoutErrorModel(p01=np.array([0.02, 0.05]), p10=np.array([0.03, 0.01]))
+        true = rng.random(4)
+        true /= true.sum()
+        noisy = model.apply_to_probabilities(true)
+        recovered = model.correct_probabilities(noisy)
+        assert np.allclose(recovered, true, atol=1e-10)
+
+    def test_noisy_distribution_differs(self):
+        model = ReadoutErrorModel(p01=np.array([0.1]), p10=np.array([0.1]))
+        true = np.array([1.0, 0.0])
+        noisy = model.apply_to_probabilities(true)
+        assert np.isclose(noisy[1], 0.1)
+
+    def test_mitigate_counts(self, rng):
+        model = ReadoutErrorModel(p01=np.array([0.05, 0.05]), p10=np.array([0.05, 0.05]))
+        # true state |11>: readout flips each bit with 5%
+        shots = 200000
+        flips0 = rng.random(shots) < 0.05
+        flips1 = rng.random(shots) < 0.05
+        outcomes = (1 - flips0).astype(int) | (((1 - flips1).astype(int)) << 1)
+        counts: dict = {}
+        for o in outcomes:
+            counts[int(o)] = counts.get(int(o), 0) + 1
+        probs = mitigate_counts(counts, model)
+        assert probs[0b11] > 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReadoutErrorModel(p01=np.array([1.5]), p10=np.array([0.0]))
+        with pytest.raises(ValueError):
+            ReadoutErrorModel(p01=np.array([0.1, 0.1]), p10=np.array([0.1]))
+
+
+class TestShotAllocation:
+    def test_sqrt_weighting(self):
+        shots = allocate_shots([100.0, 1.0], 1000, minimum=10)
+        assert sum(shots) == 1000
+        # sqrt(100):sqrt(1) = 10:1 split of the budget above minimum
+        assert shots[0] > 8 * shots[1] / 2
+        assert shots[0] > shots[1]
+
+    def test_minimum_respected(self):
+        shots = allocate_shots([1000.0, 0.0, 0.0], 300, minimum=50)
+        assert all(s >= 50 for s in shots)
+        assert sum(shots) == 300
+
+    def test_budget_too_small(self):
+        with pytest.raises(ValueError):
+            allocate_shots([1.0, 1.0], 10, minimum=16)
+
+    def test_zero_weights_fall_back_uniform(self):
+        shots = allocate_shots([0.0, 0.0], 100, minimum=10)
+        assert sum(shots) == 100
+        assert abs(shots[0] - shots[1]) <= 1
+
+    def test_variance_policy_beats_uniform(self, h2_problem):
+        """Weighted allocation should reduce RMS error at equal budget."""
+        hq, _ = h2_problem
+        from repro.chem.uccsd import build_uccsd_circuit
+
+        ansatz = build_uccsd_circuit(4, 2)
+        bound = ansatz.circuit.bind([0.05, -0.02, -0.1])
+        state = StatevectorSimulator(4).run(bound).copy()
+        exact = expectation_direct(state, hq)
+
+        def rms(policy, reps=20):
+            errs = []
+            for i in range(reps):
+                est = sampled_energy_with_allocation(
+                    state, hq, 2000, policy=policy,
+                    rng=np.random.default_rng(500 + i),
+                )
+                errs.append((est - exact) ** 2)
+            return float(np.sqrt(np.mean(errs)))
+
+        assert rms("variance") < rms("uniform") * 1.05  # at least on par

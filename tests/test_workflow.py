@@ -1,0 +1,55 @@
+"""End-to-end tests of the Fig. 2 workflow pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.chem.molecule import h2, lih
+from repro.core.workflow import run_vqe_workflow
+
+
+class TestWorkflow:
+    def test_h2_full_space(self):
+        res = run_vqe_workflow(h2(), downfold=False)
+        assert res.num_qubits == 4
+        assert res.num_electrons == 2
+        assert res.exact_energy is not None
+        assert res.error_vs_exact < 1e-5
+        # correlation recovered relative to SCF
+        assert res.energy < res.scf.energy - 0.01
+
+    def test_lih_frozen_core_downfolded(self):
+        """LiH with the Li 1s frozen: 10 qubits, downfolding active."""
+        res = run_vqe_workflow(
+            lih(), core_orbitals=[0], active_orbitals=[1, 2, 3, 4, 5]
+        )
+        assert res.num_qubits == 10
+        assert res.num_electrons == 2
+        assert res.downfolding is not None
+        assert res.downfolding.sigma_norm1 > 0
+        # VQE on the downfolded Hamiltonian reaches its own FCI closely
+        assert res.error_vs_exact < 1e-4
+
+    def test_lih_without_downfolding(self):
+        res = run_vqe_workflow(
+            lih(),
+            core_orbitals=[0],
+            active_orbitals=[1, 2, 3, 4, 5],
+            downfold=False,
+        )
+        assert res.downfolding is None
+        assert res.num_qubits == 10
+        assert res.error_vs_exact < 1e-4
+
+    def test_downfolding_changes_energy(self):
+        """Downfolded and bare active-space energies must differ (the
+        external-space correlation is being folded in)."""
+        bare = run_vqe_workflow(
+            lih(), core_orbitals=[0], active_orbitals=[1, 2, 3, 4, 5],
+            downfold=False, compute_exact=False,
+        )
+        folded = run_vqe_workflow(
+            lih(), core_orbitals=[0], active_orbitals=[1, 2, 3, 4, 5],
+            downfold=True, compute_exact=False,
+        )
+        assert abs(bare.energy - folded.energy) > 1e-7
+        assert folded.energy < bare.energy  # extra correlation lowers E
