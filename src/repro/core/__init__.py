@@ -6,7 +6,8 @@ resource counting for the scaling figures (Figs. 1, 3), and the
 end-to-end Fig. 2 workflow.
 """
 
-from repro.core.adapt import AdaptIteration, AdaptResult, AdaptVQE
+from repro.core.adapt import AdaptIteration, AdaptResult, AdaptState, AdaptVQE
+from repro.core.campaign import CampaignFailedError, CampaignResult, CampaignRunner
 from repro.core.cache import CachedEnergyEvaluator, GateLedger, PostAnsatzCache
 from repro.core.counting import (
     EnergyEvaluationCost,
@@ -51,6 +52,10 @@ __all__ = [
     "AdaptVQE",
     "AdaptResult",
     "AdaptIteration",
+    "AdaptState",
+    "CampaignRunner",
+    "CampaignResult",
+    "CampaignFailedError",
     "PostAnsatzCache",
     "CachedEnergyEvaluator",
     "GateLedger",

@@ -27,7 +27,7 @@ from repro.opt.base import Optimizer
 from repro.opt.gradient import AnsatzObjective
 from repro.opt.scipy_wrap import LBFGSB
 
-__all__ = ["AdaptVQE", "AdaptResult", "AdaptIteration"]
+__all__ = ["AdaptVQE", "AdaptResult", "AdaptIteration", "AdaptState"]
 
 CHEMICAL_ACCURACY_HA = 1.594e-3  # 1 kcal/mol in Hartree
 MILLI_HARTREE = 1e-3
@@ -43,6 +43,25 @@ class AdaptIteration:
     energy: float
     error_vs_reference: Optional[float]
     num_parameters: int
+
+
+@dataclass
+class AdaptState:
+    """Resumable ADAPT progress: everything ``step`` needs to continue.
+
+    This is the unit the campaign layer (``repro.core.campaign``)
+    checkpoints between growth iterations — pool indices rather than
+    operators, so it round-trips through JSON.  ``statevector`` is a
+    derived cache (recomputed from ``parameters`` after a restore).
+    """
+
+    iteration: int = 0
+    chosen_indices: List[int] = field(default_factory=list)
+    parameters: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    energy: float = 0.0
+    records: List[AdaptIteration] = field(default_factory=list)
+    converged: bool = False
+    statevector: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -123,71 +142,102 @@ class AdaptVQE:
             grads[k] = 2.0 * np.real(np.vdot(h_state, op.generator.apply(state)))
         return grads
 
-    def run(self, verbose: bool = False) -> AdaptResult:
-        chosen: List[PoolOperator] = []
-        params = np.zeros(0)
+    # -- stepwise interface (checkpointable campaign loop) ----------------------
+
+    def initial_state(self) -> AdaptState:
+        """Fresh ADAPT progress at iteration 0 (reference state)."""
         state = self.reference_state.copy()
-        records: List[AdaptIteration] = []
-        converged = False
-
         energy = float(np.real(self.hamiltonian.expectation(state)))
-        for it in range(1, self.max_iterations + 1):
-            grads = self.pool_gradients(state)
-            k_best = int(np.argmax(np.abs(grads)))
-            g_max = float(np.abs(grads[k_best]))
-            if g_max < self.gradient_tolerance:
-                converged = True
-                break
+        return AdaptState(energy=energy, statevector=state)
 
-            chosen.append(self.pool[k_best])
-            params = np.concatenate([params, [0.0]])  # warm start
+    def prepare_statevector(self, st: AdaptState) -> np.ndarray:
+        """(Re)compute |psi(theta)> for the state's chosen operators —
+        used after restoring a checkpoint, where only parameters and
+        pool indices survive serialization."""
+        if not st.chosen_indices:
+            return self.reference_state.copy()
+        objective = AnsatzObjective(
+            self.reference_state,
+            [self.pool[k].generator for k in st.chosen_indices],
+            self.hamiltonian,
+        )
+        return objective.prepare_state(st.parameters)
 
-            objective = AnsatzObjective(
-                self.reference_state,
-                [op.generator for op in chosen],
-                self.hamiltonian,
-            )
-            res = self.optimizer.minimize(
-                objective.energy, params, gradient=objective.gradient
-            )
-            params = res.x
-            energy = res.fun
-            state = objective.prepare_state(params)
+    def step(self, st: AdaptState, verbose: bool = False) -> AdaptState:
+        """One ADAPT growth iteration, in place: screen the pool on the
+        current state, append the largest-gradient operator, re-optimize
+        all parameters (warm-started).  Sets ``st.converged`` instead of
+        growing when the pool gradient (or the energy error) is below
+        tolerance."""
+        if st.converged:
+            return st
+        if st.statevector is None:
+            st.statevector = self.prepare_statevector(st)
+        grads = self.pool_gradients(st.statevector)
+        k_best = int(np.argmax(np.abs(grads)))
+        g_max = float(np.abs(grads[k_best]))
+        if g_max < self.gradient_tolerance:
+            st.converged = True
+            return st
 
-            err = (
-                abs(energy - self.reference_energy)
-                if self.reference_energy is not None
-                else None
-            )
-            records.append(
-                AdaptIteration(
-                    iteration=it,
-                    selected_label=self.pool[k_best].label,
-                    max_gradient=g_max,
-                    energy=energy,
-                    error_vs_reference=err,
-                    num_parameters=len(params),
-                )
-            )
-            if verbose:
-                err_s = f" dE={err*1000:.4f} mHa" if err is not None else ""
-                print(
-                    f"[adapt {it:3d}] +{self.pool[k_best].label:24s} "
-                    f"|g|={g_max:.2e} E={energy:.8f}{err_s}"
-                )
-            if (
-                self.energy_tolerance is not None
-                and err is not None
-                and err < self.energy_tolerance
-            ):
-                converged = True
-                break
+        st.iteration += 1
+        st.chosen_indices.append(k_best)
+        params = np.concatenate([st.parameters, [0.0]])  # warm start
 
+        objective = AnsatzObjective(
+            self.reference_state,
+            [self.pool[k].generator for k in st.chosen_indices],
+            self.hamiltonian,
+        )
+        res = self.optimizer.minimize(
+            objective.energy, params, gradient=objective.gradient
+        )
+        st.parameters = res.x
+        st.energy = res.fun
+        st.statevector = objective.prepare_state(st.parameters)
+
+        err = (
+            abs(st.energy - self.reference_energy)
+            if self.reference_energy is not None
+            else None
+        )
+        st.records.append(
+            AdaptIteration(
+                iteration=st.iteration,
+                selected_label=self.pool[k_best].label,
+                max_gradient=g_max,
+                energy=st.energy,
+                error_vs_reference=err,
+                num_parameters=len(st.parameters),
+            )
+        )
+        if verbose:
+            err_s = f" dE={err*1000:.4f} mHa" if err is not None else ""
+            print(
+                f"[adapt {st.iteration:3d}] +{self.pool[k_best].label:24s} "
+                f"|g|={g_max:.2e} E={st.energy:.8f}{err_s}"
+            )
+        if (
+            self.energy_tolerance is not None
+            and err is not None
+            and err < self.energy_tolerance
+        ):
+            st.converged = True
+        return st
+
+    def result(self, st: AdaptState) -> AdaptResult:
+        """Package a (finished or in-flight) state as an AdaptResult."""
         return AdaptResult(
-            energy=energy,
-            parameters=params,
-            operator_labels=[op.label for op in chosen],
-            iterations=records,
-            converged=converged,
+            energy=st.energy,
+            parameters=st.parameters,
+            operator_labels=[self.pool[k].label for k in st.chosen_indices],
+            iterations=list(st.records),
+            converged=st.converged,
             reference_energy=self.reference_energy,
         )
+
+    def run(self, verbose: bool = False) -> AdaptResult:
+        st = self.initial_state()
+        while not st.converged and st.iteration < self.max_iterations:
+            self.step(st, verbose=verbose)
+        return self.result(st)

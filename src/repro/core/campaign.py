@@ -1,0 +1,376 @@
+"""Checkpointed, restartable VQE/ADAPT campaigns (the recovery layer).
+
+A multi-hour ADAPT-VQE campaign on a shared HPC system must assume it
+will be interrupted: rank crashes, walltime kills, node drains.  The
+``CampaignRunner`` makes the drivers in this package survivable:
+
+* **Periodic checkpointing.**  ADAPT progress (pool indices,
+  parameters, per-iteration records) is serialized to JSON every
+  ``checkpoint_period`` iterations — atomically, via temp-file +
+  ``os.replace``, like the statevector checkpoints in
+  ``repro.sim.checkpoint``.  Plain VQE checkpoints the latest
+  parameter vector every ``checkpoint_period`` energy evaluations.
+* **Restart-on-failure.**  An unrecoverable
+  :class:`repro.hpc.faults.RankFailure` (injected by a
+  ``FaultInjector`` or raised by the distributed substrate) rolls the
+  campaign back to the last checkpoint and replays from there, up to
+  ``max_restarts`` times; the work redone is reported so the
+  checkpoint-period / lost-work tradeoff is measurable
+  (``benchmarks/bench_fault_recovery.py``).
+* **Distributed cross-check.**  Optionally every checkpoint is
+  validated by scattering the ansatz state over a
+  ``DistributedStatevector`` and recomputing the energy through the
+  (fault-injected, retry-protected) ``SimComm`` — so transient
+  exchange faults and their retries are exercised inside the same
+  campaign whose crash recovery is being tested.
+
+Because the fault injector, the retry jitter, and the optimizers are
+all seeded/deterministic, an entire faulty campaign — crashes,
+retries, rollbacks and all — replays identically, and must land on
+the same final energy as the fault-free run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.core.adapt import AdaptIteration, AdaptResult, AdaptState, AdaptVQE
+from repro.core.vqe import VQE, VQEResult
+from repro.hpc.comm import SimComm
+from repro.hpc.distributed import DistributedStatevector
+from repro.hpc.faults import FaultInjector, FaultLedger, RankFailure
+from repro.hpc.perfmodel import SimulatedClock
+from repro.utils.retry import RetryPolicy
+
+__all__ = ["CampaignFailedError", "CampaignResult", "CampaignRunner"]
+
+_ADAPT_STATE_FILE = "adapt_state.json"
+_VQE_STATE_FILE = "vqe_params.json"
+_STATE_VERSION = 1
+
+
+class CampaignFailedError(RuntimeError):
+    """The campaign could not be completed within ``max_restarts``."""
+
+
+@dataclass
+class CampaignResult:
+    """A converged campaign plus its recovery bookkeeping."""
+
+    result: Union[AdaptResult, VQEResult]
+    restarts: int
+    checkpoints_written: int
+    iterations_recomputed: int
+    resumed_from: Optional[int]
+    fault_ledger: Optional[FaultLedger]
+    simulated_backoff_s: float = 0.0
+
+    @property
+    def energy(self) -> float:
+        return self.result.energy
+
+
+def _atomic_write_json(payload: dict, path: str) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp, path)
+
+
+class CampaignRunner:
+    """Drives a VQE or ADAPT-VQE run with checkpoint/restart semantics.
+
+    Parameters
+    ----------
+    checkpoint_dir:
+        Where campaign state lives.  Re-running a ``CampaignRunner``
+        over a directory holding a previous (partial) campaign resumes
+        it — that is the batch-queue walltime-kill story.
+    checkpoint_period:
+        Checkpoint every N ADAPT iterations (or every N VQE energy
+        evaluations).  Small N = little lost work but more I/O; the
+        Young/Daly analysis in ``repro.hpc.perfmodel`` quantifies the
+        tradeoff.
+    max_restarts:
+        Rank failures tolerated before :class:`CampaignFailedError`.
+    fault_injector:
+        Optional deterministic fault source (campaign-scope crashes
+        consult it each iteration; the distributed cross-check routes
+        comm-scope faults through it too).
+    retry_policy:
+        Retry policy for the distributed cross-check's communicator.
+    distributed_ranks:
+        If set, every checkpoint is cross-validated on a
+        ``DistributedStatevector`` over this many simulated ranks.
+    """
+
+    def __init__(
+        self,
+        checkpoint_dir: str,
+        checkpoint_period: int = 1,
+        max_restarts: int = 3,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        distributed_ranks: Optional[int] = None,
+        crosscheck_tolerance: float = 1e-8,
+    ):
+        if checkpoint_period < 1:
+            raise ValueError("checkpoint_period must be >= 1")
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_period = checkpoint_period
+        self.max_restarts = max_restarts
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
+        self.distributed_ranks = distributed_ranks
+        self.crosscheck_tolerance = crosscheck_tolerance
+        self.clock = SimulatedClock()
+        self.checkpoints_written = 0
+        self._crosscheck_comm: Optional[SimComm] = None
+        os.makedirs(checkpoint_dir, exist_ok=True)
+
+    # -- ADAPT campaigns ----------------------------------------------------------
+
+    def run_adapt(self, adapt: AdaptVQE, verbose: bool = False) -> CampaignResult:
+        """Run (or resume) an ADAPT-VQE campaign to convergence."""
+        st = self._load_adapt_state(adapt)
+        resumed_from = st.iteration if st is not None else None
+        if st is None:
+            st = adapt.initial_state()
+        restarts = 0
+        recomputed = 0
+        while not st.converged and st.iteration < adapt.max_iterations:
+            try:
+                if self.fault_injector is not None:
+                    # the crash lands *mid-iteration*: the step's work
+                    # is lost and the campaign rolls back
+                    self.fault_injector.check_campaign_faults(st.iteration + 1)
+                adapt.step(st, verbose=verbose)
+                if st.converged or st.iteration % self.checkpoint_period == 0:
+                    self._save_adapt_state(st)
+                    self._distributed_crosscheck(adapt, st)
+            except RankFailure as err:
+                restarts += 1
+                if restarts > self.max_restarts:
+                    raise CampaignFailedError(
+                        f"gave up after {restarts} rank failures (last: {err})"
+                    ) from err
+                failed_at = st.iteration + 1
+                st = self._load_adapt_state(adapt) or adapt.initial_state()
+                recomputed += failed_at - 1 - st.iteration
+                if verbose:
+                    print(
+                        f"[campaign] {err}; rolled back to iteration "
+                        f"{st.iteration}, restart {restarts}/{self.max_restarts}"
+                    )
+        self._save_adapt_state(st)
+        return CampaignResult(
+            result=adapt.result(st),
+            restarts=restarts,
+            checkpoints_written=self.checkpoints_written,
+            iterations_recomputed=recomputed,
+            resumed_from=resumed_from,
+            fault_ledger=(
+                self.fault_injector.ledger if self.fault_injector else None
+            ),
+            simulated_backoff_s=self.clock.now,
+        )
+
+    def _adapt_state_path(self) -> str:
+        return os.path.join(self.checkpoint_dir, _ADAPT_STATE_FILE)
+
+    def _save_adapt_state(self, st: AdaptState) -> None:
+        payload = {
+            "version": _STATE_VERSION,
+            "iteration": st.iteration,
+            "chosen_indices": list(st.chosen_indices),
+            "parameters": [float(x) for x in st.parameters],
+            "energy": st.energy,
+            "converged": st.converged,
+            "records": [
+                {
+                    "iteration": r.iteration,
+                    "selected_label": r.selected_label,
+                    "max_gradient": r.max_gradient,
+                    "energy": r.energy,
+                    "error_vs_reference": r.error_vs_reference,
+                    "num_parameters": r.num_parameters,
+                }
+                for r in st.records
+            ],
+        }
+        _atomic_write_json(payload, self._adapt_state_path())
+        self.checkpoints_written += 1
+
+    def _load_adapt_state(self, adapt: AdaptVQE) -> Optional[AdaptState]:
+        path = self._adapt_state_path()
+        if not os.path.isfile(path):
+            return None
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (json.JSONDecodeError, OSError) as err:
+            raise ValueError(f"corrupt campaign checkpoint {path!r}: {err}") from err
+        if payload.get("version") != _STATE_VERSION:
+            raise ValueError(
+                f"unsupported campaign checkpoint version: {payload.get('version')}"
+            )
+        chosen = [int(k) for k in payload["chosen_indices"]]
+        if any(k < 0 or k >= len(adapt.pool) for k in chosen):
+            raise ValueError(
+                "campaign checkpoint references operators outside the pool "
+                "(wrong pool for this checkpoint?)"
+            )
+        params = np.asarray(payload["parameters"], dtype=float)
+        if params.shape != (len(chosen),):
+            raise ValueError("campaign checkpoint parameter/operator count mismatch")
+        st = AdaptState(
+            iteration=int(payload["iteration"]),
+            chosen_indices=chosen,
+            parameters=params,
+            energy=float(payload["energy"]),
+            records=[AdaptIteration(**r) for r in payload["records"]],
+            converged=bool(payload["converged"]),
+        )
+        st.statevector = adapt.prepare_statevector(st)
+        return st
+
+    # -- distributed cross-check --------------------------------------------------
+
+    def _distributed_crosscheck(self, adapt: AdaptVQE, st: AdaptState) -> None:
+        """Recompute the checkpointed energy on the distributed backend
+        (through the fault-injected, retry-protected communicator) and
+        insist it agrees with the dense driver."""
+        if self.distributed_ranks is None:
+            return
+        n = adapt.hamiltonian.num_qubits
+        if self._crosscheck_comm is None:
+            self._crosscheck_comm = SimComm(
+                self.distributed_ranks,
+                fault_injector=self.fault_injector,
+                retry_policy=self.retry_policy,
+                clock=self.clock,
+            )
+        dsv = DistributedStatevector(n, self.distributed_ranks, comm=self._crosscheck_comm)
+        vec = (
+            st.statevector
+            if st.statevector is not None
+            else adapt.prepare_statevector(st)
+        )
+        for k in range(dsv.num_ranks):
+            dsv.slices[k] = np.array(
+                vec[k * dsv.local_dim : (k + 1) * dsv.local_dim], dtype=np.complex128
+            )
+        e_dist = dsv.expectation(adapt.hamiltonian)
+        if abs(e_dist - st.energy) > self.crosscheck_tolerance:
+            raise CampaignFailedError(
+                f"distributed cross-check diverged: dense {st.energy:.12f} "
+                f"vs distributed {e_dist:.12f}"
+            )
+
+    @property
+    def comm_stats(self):
+        """CommStats of the cross-check communicator (retries, bytes),
+        or None if no distributed cross-check ran."""
+        return self._crosscheck_comm.stats if self._crosscheck_comm else None
+
+    # -- plain VQE campaigns ------------------------------------------------------
+
+    def run_vqe(
+        self, vqe: VQE, initial_parameters: Optional[np.ndarray] = None
+    ) -> CampaignResult:
+        """Run (or resume) a VQE optimization with parameter
+        checkpointing every ``checkpoint_period`` energy evaluations.
+
+        After a rank failure the optimizer restarts warm from the last
+        checkpointed parameter vector — for deterministic optimizers
+        this converges to the same minimum as the uninterrupted run.
+        """
+        saved = self._load_vqe_params()
+        resumed_from = saved["eval"] if saved is not None else None
+        x0 = (
+            np.asarray(saved["parameters"], dtype=float)
+            if saved is not None
+            else initial_parameters
+        )
+        restarts = 0
+        previous_callback = vqe.evaluation_callback
+
+        def checkpoint_callback(idx: int, params: np.ndarray, energy: float) -> None:
+            if self.fault_injector is not None:
+                self.fault_injector.check_campaign_faults(idx)
+            if idx % self.checkpoint_period == 0:
+                self._save_vqe_params(params, energy, idx)
+            if previous_callback is not None:
+                previous_callback(idx, params, energy)
+
+        vqe.evaluation_callback = checkpoint_callback
+        try:
+            while True:
+                try:
+                    result = vqe.run(x0)
+                    break
+                except RankFailure as err:
+                    restarts += 1
+                    if restarts > self.max_restarts:
+                        raise CampaignFailedError(
+                            f"gave up after {restarts} rank failures (last: {err})"
+                        ) from err
+                    saved = self._load_vqe_params()
+                    x0 = (
+                        np.asarray(saved["parameters"], dtype=float)
+                        if saved is not None
+                        else initial_parameters
+                    )
+        finally:
+            vqe.evaluation_callback = previous_callback
+        self._save_vqe_params(result.optimal_parameters, result.energy, vqe.num_evaluations)
+        return CampaignResult(
+            result=result,
+            restarts=restarts,
+            checkpoints_written=self.checkpoints_written,
+            iterations_recomputed=0,
+            resumed_from=resumed_from,
+            fault_ledger=(
+                self.fault_injector.ledger if self.fault_injector else None
+            ),
+            simulated_backoff_s=self.clock.now,
+        )
+
+    def _vqe_state_path(self) -> str:
+        return os.path.join(self.checkpoint_dir, _VQE_STATE_FILE)
+
+    def _save_vqe_params(
+        self, params: np.ndarray, energy: float, eval_index: int
+    ) -> None:
+        _atomic_write_json(
+            {
+                "version": _STATE_VERSION,
+                "parameters": [float(x) for x in np.atleast_1d(params)],
+                "energy": float(energy),
+                "eval": int(eval_index),
+            },
+            self._vqe_state_path(),
+        )
+        self.checkpoints_written += 1
+
+    def _load_vqe_params(self) -> Optional[dict]:
+        path = self._vqe_state_path()
+        if not os.path.isfile(path):
+            return None
+        try:
+            with open(path) as fh:
+                payload = json.load(fh)
+        except (json.JSONDecodeError, OSError) as err:
+            raise ValueError(f"corrupt campaign checkpoint {path!r}: {err}") from err
+        if payload.get("version") != _STATE_VERSION:
+            raise ValueError(
+                f"unsupported campaign checkpoint version: {payload.get('version')}"
+            )
+        return payload

@@ -17,7 +17,7 @@ Two execution modes, matching how the paper's stack is layered:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -72,11 +72,17 @@ class VQE:
         generators: Optional[Sequence[PauliSum]] = None,
         reference_state: Optional[np.ndarray] = None,
         optimizer: Optional[Optimizer] = None,
+        evaluation_callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
     ):
         if not hamiltonian.is_hermitian():
             raise ValueError("hamiltonian must be Hermitian")
         self.hamiltonian = hamiltonian
         self.optimizer = optimizer or LBFGSB()
+        # called as callback(eval_index, params, energy) after every
+        # energy evaluation; the campaign layer uses it for periodic
+        # parameter checkpoints and fault-injection hooks
+        self.evaluation_callback = evaluation_callback
+        self.num_evaluations = 0
         self.mode: str
         if generators is not None:
             if reference_state is None:
@@ -101,9 +107,14 @@ class VQE:
         """One energy evaluation at the given parameters."""
         params = np.atleast_1d(np.asarray(params, dtype=float))
         if self.mode == "chemistry":
-            return self.objective.energy(params)
-        bound = self.ansatz.bind(list(params))
-        return self.estimator.estimate(bound, self.hamiltonian)
+            e = self.objective.energy(params)
+        else:
+            bound = self.ansatz.bind(list(params))
+            e = self.estimator.estimate(bound, self.hamiltonian)
+        self.num_evaluations += 1
+        if self.evaluation_callback is not None:
+            self.evaluation_callback(self.num_evaluations, params, e)
+        return e
 
     def gradient(self, params: np.ndarray) -> Optional[np.ndarray]:
         """Analytic gradient (chemistry mode only)."""

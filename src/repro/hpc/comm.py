@@ -12,14 +12,26 @@ mpi4py-like buffer interface (pairwise ``exchange``, ``allreduce``,
 * every message and byte is tallied, which the performance model
   (``repro.hpc.perfmodel``) converts into simulated wall-clock for the
   scaling studies.
+
+Fault tolerance: a :class:`repro.hpc.faults.FaultInjector` can be
+attached to inject rank crashes, transient message drops, payload
+corruption (caught by a receiver-side checksum), and stragglers into
+the exchange/allreduce paths.  Transient faults are survived by an
+optional :class:`repro.utils.retry.RetryPolicy` whose backoff advances
+a simulated clock; retry traffic and recovery latency are surfaced in
+``CommStats`` next to the byte counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
+
+from repro.hpc.faults import FaultInjector, TransientCommError
+from repro.hpc.perfmodel import SimulatedClock
+from repro.utils.retry import RetryPolicy
 
 __all__ = ["CommStats", "SimComm"]
 
@@ -34,6 +46,12 @@ class CommStats:
     allreduce_bytes: int = 0
     gather_calls: int = 0
     gather_bytes: int = 0
+    # fault/recovery counters
+    transient_errors: int = 0
+    corrupted_messages: int = 0
+    straggler_ops: int = 0
+    retries: int = 0
+    retry_backoff_s: float = 0.0
 
     @property
     def total_bytes(self) -> int:
@@ -46,16 +64,67 @@ class CommStats:
         self.allreduce_bytes = 0
         self.gather_calls = 0
         self.gather_bytes = 0
+        self.transient_errors = 0
+        self.corrupted_messages = 0
+        self.straggler_ops = 0
+        self.retries = 0
+        self.retry_backoff_s = 0.0
 
 
 class SimComm:
-    """A communicator over ``num_ranks`` simulated ranks."""
+    """A communicator over ``num_ranks`` simulated ranks.
 
-    def __init__(self, num_ranks: int):
+    ``fault_injector`` and ``retry_policy`` are both optional; without
+    them the communicator is the original happy-path implementation.
+    With an injector but no retry policy, transient faults propagate
+    to the caller; with both, transients are retried (retransmitted
+    bytes are re-counted — retry traffic is real traffic) and only
+    exhaustion or a rank crash escalates.
+    """
+
+    def __init__(
+        self,
+        num_ranks: int,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        clock: Optional[SimulatedClock] = None,
+    ):
         if num_ranks < 1 or (num_ranks & (num_ranks - 1)) != 0:
             raise ValueError("num_ranks must be a power of two")
         self.num_ranks = num_ranks
         self.stats = CommStats()
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
+        self.clock = clock if clock is not None else SimulatedClock()
+
+    # -- fault/retry plumbing ---------------------------------------------------
+
+    def _with_retry(self, attempt: Callable[[], object]) -> object:
+        """Run one comm operation, retrying transient faults when a
+        policy is attached.  ``RetryExhaustedError`` (policy attached)
+        or ``TransientCommError`` (no policy) escalates to the caller."""
+        if self.fault_injector is None:
+            return attempt()
+
+        def counted() -> object:
+            try:
+                return attempt()
+            except TransientCommError:
+                self.stats.transient_errors += 1
+                raise
+
+        if self.retry_policy is None:
+            return counted()
+        return self.retry_policy.call(
+            counted,
+            retry_on=(TransientCommError,),
+            clock=self.clock,
+            on_retry=self._on_retry,
+        )
+
+    def _on_retry(self, attempt: int, delay: float, error: BaseException) -> None:
+        self.stats.retries += 1
+        self.stats.retry_backoff_s += delay
 
     # -- point to point ---------------------------------------------------------
 
@@ -70,8 +139,29 @@ class SimComm:
         """
         if len(buffers) != self.num_ranks or len(partners) != self.num_ranks:
             raise ValueError("one buffer and partner per rank required")
+        return self._with_retry(lambda: self._exchange_attempt(buffers, partners))
+
+    def _exchange_attempt(
+        self, buffers: Sequence[Optional[np.ndarray]], partners: Sequence[int]
+    ) -> List[Optional[np.ndarray]]:
+        payloads: Sequence[Optional[np.ndarray]] = buffers
+        if self.fault_injector is not None:
+            op = self.fault_injector.next_comm_op()
+            multiplier = self.fault_injector.check_comm_faults(op, "exchange")
+            if multiplier > 1.0:
+                self.stats.straggler_ops += 1
+            payloads, detectable = self.fault_injector.corrupt_payloads(op, buffers)
+            if detectable:
+                # the garbled message still crossed the wire before the
+                # checksum rejected it
+                self.stats.corrupted_messages += 1
+                for k, (buf, p) in enumerate(zip(payloads, partners)):
+                    if buf is not None and p != k:
+                        self.stats.point_to_point_messages += 1
+                        self.stats.point_to_point_bytes += buf.nbytes
+                raise TransientCommError("checksum mismatch on exchanged slice")
         received: List[Optional[np.ndarray]] = [None] * self.num_ranks
-        for k, (buf, p) in enumerate(zip(buffers, partners)):
+        for k, (buf, p) in enumerate(zip(payloads, partners)):
             if buf is None:
                 continue
             if p == k:
@@ -90,6 +180,13 @@ class SimComm:
         """Sum a per-rank scalar across ranks (tree allreduce model)."""
         if len(values) != self.num_ranks:
             raise ValueError("one value per rank required")
+        return self._with_retry(lambda: self._allreduce_attempt(values))
+
+    def _allreduce_attempt(self, values: Sequence[complex]) -> complex:
+        if self.fault_injector is not None:
+            op = self.fault_injector.next_comm_op()
+            if self.fault_injector.check_comm_faults(op, "allreduce") > 1.0:
+                self.stats.straggler_ops += 1
         total = complex(np.sum(np.asarray(values, dtype=np.complex128)))
         self.stats.allreduce_calls += 1
         # tree: 2 * log2(R) scalar messages of 16 bytes
@@ -101,6 +198,13 @@ class SimComm:
         """Elementwise-sum arrays across ranks."""
         if len(arrays) != self.num_ranks:
             raise ValueError("one array per rank required")
+        return self._with_retry(lambda: self._allreduce_array_attempt(arrays))
+
+    def _allreduce_array_attempt(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        if self.fault_injector is not None:
+            op = self.fault_injector.next_comm_op()
+            if self.fault_injector.check_comm_faults(op, "allreduce") > 1.0:
+                self.stats.straggler_ops += 1
         out = np.sum(np.stack(arrays), axis=0)
         self.stats.allreduce_calls += 1
         rounds = max(1, int(np.log2(self.num_ranks))) if self.num_ranks > 1 else 0

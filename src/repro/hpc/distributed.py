@@ -31,6 +31,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.hpc.comm import SimComm
+from repro.hpc.faults import FaultInjector
+from repro.utils.retry import RetryPolicy
 from repro.ir.circuit import Circuit
 from repro.ir.gates import Gate
 from repro.ir.pauli import PauliSum
@@ -45,7 +47,14 @@ _I_POW = (1.0 + 0j, 1j, -1.0 + 0j, -1j)
 class DistributedStatevector:
     """A 2^n statevector partitioned over 2^r simulated ranks."""
 
-    def __init__(self, num_qubits: int, num_ranks: int, comm: Optional[SimComm] = None):
+    def __init__(
+        self,
+        num_qubits: int,
+        num_ranks: int,
+        comm: Optional[SimComm] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
         if num_ranks < 1 or (num_ranks & (num_ranks - 1)) != 0:
             raise ValueError("num_ranks must be a power of two")
         r = int(math.log2(num_ranks))
@@ -59,7 +68,15 @@ class DistributedStatevector:
         self.rank_bits = r
         self.local_qubits = num_qubits - r
         self.local_dim = 1 << self.local_qubits
-        self.comm = comm or SimComm(num_ranks)
+        if comm is None:
+            comm = SimComm(
+                num_ranks, fault_injector=fault_injector, retry_policy=retry_policy
+            )
+        elif fault_injector is not None or retry_policy is not None:
+            raise ValueError(
+                "pass faults/retry via the comm when supplying one explicitly"
+            )
+        self.comm = comm
         # slices[k] = amplitudes with top bits == k
         self.slices: List[np.ndarray] = [
             np.zeros(self.local_dim, dtype=np.complex128) for _ in range(num_ranks)
@@ -157,6 +174,8 @@ class DistributedStatevector:
     # -- execution ----------------------------------------------------------------------
 
     def apply_gate(self, gate: Gate) -> None:
+        if self.comm.fault_injector is not None:
+            self.comm.fault_injector.check_gate_faults(self.gates_applied)
         phys = self._ensure_local(gate.qubits)
         self.gates_applied += 1
         L = self.local_qubits

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.hpc.cluster import Machine, get_machine
+from repro.hpc.faults import FaultInjector
 from repro.hpc.scheduler import BatchScheduler, Job, Schedule
 from repro.ir.circuit import Circuit
 from repro.ir.pauli import PauliSum
@@ -42,15 +43,25 @@ class EnsembleResult:
     def makespan(self) -> float:
         return self.schedule.makespan
 
+    @property
+    def failed_ranks(self) -> List[int]:
+        return self.schedule.failed_ranks
+
 
 class EnsembleExecutor:
     """Runs batches of (bound circuit, observable) evaluations over a
     simulated device ensemble."""
 
-    def __init__(self, num_devices: int, machine: Union[Machine, str] = "perlmutter"):
+    def __init__(
+        self,
+        num_devices: int,
+        machine: Union[Machine, str] = "perlmutter",
+        fault_injector: Optional[FaultInjector] = None,
+    ):
         self.num_devices = num_devices
         self.machine = get_machine(machine) if isinstance(machine, str) else machine
         self.scheduler = BatchScheduler(num_devices, self.machine)
+        self.fault_injector = fault_injector
 
     def evaluate(
         self,
@@ -64,13 +75,52 @@ class EnsembleExecutor:
         jobs = [
             Job.from_circuit(f"eval_{k}", c) for k, c in enumerate(circuits)
         ]
-        schedule = self.scheduler.schedule(jobs)
+        schedule = self._schedule_with_faults(jobs)
         values = np.empty(len(circuits))
         for k, circuit in enumerate(circuits):
             sim = StatevectorSimulator(circuit.num_qubits)
             state = sim.run(circuit)
             values[k] = expectation_direct(state, observable)
         return EnsembleResult(values=values, schedule=schedule)
+
+    def _schedule_with_faults(self, jobs: Sequence[Job]) -> Schedule:
+        """Plan the batch, then replay it against the fault injector:
+        a rank that dies mid-batch loses its unfinished jobs, which are
+        re-LPT'd onto the survivors (graceful degradation) — the
+        returned schedule's makespan/speedup describe the degraded
+        ensemble.  The numerics are unaffected: every evaluation still
+        runs (on a survivor)."""
+        injector = self.fault_injector
+        if injector is None:
+            return self.scheduler.schedule(jobs)
+        alive = [
+            k for k in range(self.num_devices) if k not in injector.crashed_ranks
+        ]
+        schedule = self.scheduler.schedule(jobs, available_ranks=alive)
+        completed: List[str] = []
+        for idx, job in enumerate(jobs):
+            rank = next(
+                (
+                    k
+                    for k, js in schedule.assignments.items()
+                    if any(j.name == job.name for j in js)
+                ),
+                None,
+            )
+            if rank is None:
+                continue
+            dead = injector.check_batch_faults(idx, rank)
+            if dead is not None and dead in schedule.assignments:
+                if len(schedule.assignments) == 1:
+                    raise RuntimeError(
+                        "last surviving ensemble rank crashed; batch cannot "
+                        "be degraded further"
+                    )
+                schedule = self.scheduler.reschedule_after_failure(
+                    schedule, dead, completed
+                )
+            completed.append(job.name)
+        return schedule
 
     def parameter_shift_gradient(
         self,

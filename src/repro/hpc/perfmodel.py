@@ -31,12 +31,38 @@ from repro.ir.circuit import Circuit
 
 __all__ = [
     "SimulatedTime",
+    "SimulatedClock",
     "estimate_circuit_time",
     "count_exchanges",
     "strong_scaling_curve",
     "weak_scaling_curve",
     "max_qubits_for_memory",
+    "checkpoint_write_time",
+    "optimal_checkpoint_period",
+    "campaign_runtime_with_failures",
 ]
+
+
+@dataclass
+class SimulatedClock:
+    """Monotone simulated wall-clock (seconds).
+
+    The substrate never sleeps: communication costs, retry backoff
+    (``repro.utils.retry.RetryPolicy``), straggler penalties, and
+    checkpoint writes all *advance* a shared clock instead, so
+    recovery latency shows up in the same simulated-seconds currency
+    as the scaling model's kernel and exchange times.
+    """
+
+    now: float = 0.0
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self.now += seconds
+
+    def reset(self) -> None:
+        self.now = 0.0
 
 
 @dataclass
@@ -143,6 +169,71 @@ def max_qubits_for_memory(machine: "Machine | str", num_ranks: int = 1) -> int:
     while (1 << (n + 1)) * 16 <= total:
         n += 1
     return n
+
+
+def checkpoint_write_time(
+    num_qubits: int,
+    num_ranks: int,
+    machine: "Machine | str" = "perlmutter",
+    fs_bandwidth: float = 5e9,
+) -> float:
+    """Seconds to write one distributed checkpoint.
+
+    Each rank streams its slice to the parallel filesystem
+    concurrently (``fs_bandwidth`` is the sustained per-writer
+    bandwidth), so the cost is one slice, not the full state — the
+    reason per-rank sharded checkpoints are viable at all.
+    """
+    if isinstance(machine, str):
+        machine = get_machine(machine)
+    r = int(math.log2(num_ranks))
+    if num_ranks != 1 << r:
+        raise ValueError("num_ranks must be a power of two")
+    slice_bytes = (1 << (num_qubits - r)) * 16
+    return slice_bytes / fs_bandwidth + machine.net_latency
+
+
+def optimal_checkpoint_period(checkpoint_cost_s: float, mtbf_s: float) -> float:
+    """Young's first-order optimum tau* = sqrt(2 * C * MTBF).
+
+    Checkpointing more often than this wastes time writing state;
+    less often wastes time recomputing lost work after failures.
+    """
+    if checkpoint_cost_s < 0 or mtbf_s <= 0:
+        raise ValueError("need checkpoint_cost_s >= 0 and mtbf_s > 0")
+    return math.sqrt(2.0 * checkpoint_cost_s * mtbf_s)
+
+
+def campaign_runtime_with_failures(
+    work_s: float,
+    period_s: float,
+    checkpoint_cost_s: float,
+    mtbf_s: float,
+    restart_cost_s: float = 0.0,
+) -> float:
+    """Expected campaign wall-clock under random failures (Daly's
+    first-order model).
+
+    Useful work ``work_s`` is cut into segments of ``period_s``, each
+    followed by a checkpoint of cost ``checkpoint_cost_s``.  Failures
+    arrive Poisson with mean interval ``mtbf_s``; each one costs the
+    restart plus on average half a period of lost work.  Solving
+
+        T = base + (T / MTBF) * (restart + period/2 + checkpoint/2)
+
+    for T gives the closed form returned here (infinite when the
+    failure rate is too high for the chosen period to make progress).
+    """
+    if work_s <= 0:
+        return 0.0
+    if period_s <= 0 or mtbf_s <= 0:
+        raise ValueError("need period_s > 0 and mtbf_s > 0")
+    base = work_s * (1.0 + checkpoint_cost_s / period_s)
+    loss_per_failure = restart_cost_s + 0.5 * (period_s + checkpoint_cost_s)
+    denom = 1.0 - loss_per_failure / mtbf_s
+    if denom <= 0:
+        return math.inf
+    return base / denom
 
 
 def strong_scaling_curve(

@@ -37,12 +37,22 @@ class Job:
 
 @dataclass
 class Schedule:
-    """Assignment of jobs to ranks with simulated timing."""
+    """Assignment of jobs to ranks with simulated timing.
+
+    ``failed_ranks`` lists ranks that died and were degraded out; the
+    makespan/speedup then describe the surviving ensemble (including
+    any work redone on survivors).
+    """
 
     assignments: Dict[int, List[Job]]
     rank_times: Dict[int, float]
     makespan: float
     serial_time: float
+    failed_ranks: List[int] = field(default_factory=list)
+
+    @property
+    def num_survivors(self) -> int:
+        return len(self.rank_times)
 
     @property
     def speedup(self) -> float:
@@ -77,24 +87,100 @@ class BatchScheduler:
             job.num_gates, job.num_qubits, 1, self.machine
         ).total
 
-    def schedule(self, jobs: Sequence[Job]) -> Schedule:
+    def schedule(
+        self, jobs: Sequence[Job], available_ranks: Optional[Sequence[int]] = None
+    ) -> Schedule:
+        """LPT-schedule ``jobs`` over ``available_ranks`` (all ranks by
+        default — pass the survivors to plan around known-dead ranks)."""
+        ranks = (
+            list(range(self.num_ranks))
+            if available_ranks is None
+            else sorted(set(available_ranks))
+        )
+        if not ranks:
+            raise ValueError("no surviving ranks to schedule on")
+        if any(k < 0 or k >= self.num_ranks for k in ranks):
+            raise ValueError("available_ranks outside the rank pool")
         costs = [(self.job_cost(j), j) for j in jobs]
         serial = sum(c for c, _ in costs)
-        # LPT: longest first onto the least-loaded rank (min-heap).
-        heap: List[Tuple[float, int]] = [(0.0, k) for k in range(self.num_ranks)]
+        assignments: Dict[int, List[Job]] = {k: [] for k in ranks}
+        rank_times: Dict[int, float] = {k: 0.0 for k in ranks}
+        self._lpt_fill(costs, assignments, rank_times)
+        makespan = max(rank_times.values()) if rank_times else 0.0
+        failed = [
+            k for k in range(self.num_ranks) if k not in set(ranks)
+        ]
+        return Schedule(
+            assignments=assignments,
+            rank_times=rank_times,
+            makespan=makespan,
+            serial_time=serial,
+            failed_ranks=failed,
+        )
+
+    @staticmethod
+    def _lpt_fill(
+        costs: Sequence[Tuple[float, Job]],
+        assignments: Dict[int, List[Job]],
+        rank_times: Dict[int, float],
+    ) -> None:
+        """LPT: longest job first onto the least-loaded rank (min-heap),
+        starting from the loads already in ``rank_times``."""
+        heap: List[Tuple[float, int]] = [
+            (rank_times[k], k) for k in sorted(assignments)
+        ]
         heapq.heapify(heap)
-        assignments: Dict[int, List[Job]] = {k: [] for k in range(self.num_ranks)}
-        rank_times: Dict[int, float] = {k: 0.0 for k in range(self.num_ranks)}
         for cost, job in sorted(costs, key=lambda cj: -cj[0]):
             load, k = heapq.heappop(heap)
             assignments[k].append(job)
             load += cost
             rank_times[k] = load
             heapq.heappush(heap, (load, k))
+
+    def reschedule_after_failure(
+        self,
+        schedule: Schedule,
+        dead_rank: int,
+        completed: Sequence[str] = (),
+    ) -> Schedule:
+        """Degrade a schedule after ``dead_rank`` fails mid-batch.
+
+        Jobs already ``completed`` (by name) on the dead rank keep
+        their cost sunk into the makespan baseline; its unfinished jobs
+        are re-LPT'd onto the survivors *on top of* their existing
+        loads.  The returned schedule's speedup therefore reflects
+        both the lost rank and the redone work.
+        """
+        if dead_rank not in schedule.assignments:
+            raise ValueError(f"rank {dead_rank} is not part of this schedule")
+        done = set(completed)
+        orphans = [j for j in schedule.assignments[dead_rank] if j.name not in done]
+        assignments = {
+            k: list(js)
+            for k, js in schedule.assignments.items()
+            if k != dead_rank
+        }
+        rank_times = {
+            k: t for k, t in schedule.rank_times.items() if k != dead_rank
+        }
+        if not assignments:
+            raise ValueError("no surviving ranks to reschedule on")
+        self._lpt_fill(
+            [(self.job_cost(j), j) for j in orphans], assignments, rank_times
+        )
         makespan = max(rank_times.values()) if rank_times else 0.0
+        # work finished on the dead rank before it died still bounds the
+        # makespan from below
+        sunk = sum(
+            self.job_cost(j)
+            for j in schedule.assignments[dead_rank]
+            if j.name in done
+        )
+        makespan = max(makespan, sunk)
         return Schedule(
             assignments=assignments,
             rank_times=rank_times,
             makespan=makespan,
-            serial_time=serial,
+            serial_time=schedule.serial_time,
+            failed_ranks=sorted(set(schedule.failed_ranks) | {dead_rank}),
         )

@@ -15,8 +15,12 @@ from repro.utils.linalg import (
     random_unitary,
 )
 from repro.utils.profiling import Timer, timed
+from repro.utils.retry import RetryExhaustedError, RetryPolicy, RetryStats
 
 __all__ = [
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "RetryStats",
     "bit_at",
     "count_set_bits",
     "flip_bit",

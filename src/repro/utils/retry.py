@@ -1,0 +1,122 @@
+"""Retry with exponential backoff over *simulated* time.
+
+Long-running distributed campaigns survive transient faults (dropped
+messages, corrupted payloads detected by checksum, brief link outages)
+by retrying with exponential backoff.  Because the whole HPC substrate
+here is simulated, the backoff must be simulated too: delays are fed
+to a clock object (``repro.hpc.perfmodel.SimulatedClock``) instead of
+``time.sleep``, so tests and benchmarks account for recovery latency
+without ever blocking, and a seeded jitter RNG keeps every retry
+schedule reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Tuple, Type
+
+import numpy as np
+
+__all__ = ["RetryExhaustedError", "RetryStats", "RetryPolicy"]
+
+
+class RetryExhaustedError(RuntimeError):
+    """All attempts of a retried operation failed.
+
+    ``__cause__`` carries the last underlying exception.
+    """
+
+    def __init__(self, attempts: int, last_error: BaseException):
+        super().__init__(
+            f"operation failed after {attempts} attempt(s): {last_error}"
+        )
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+@dataclass
+class RetryStats:
+    """Counters accumulated across ``RetryPolicy.call`` invocations."""
+
+    calls: int = 0
+    retries: int = 0
+    failures: int = 0
+    backoff_seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.calls = 0
+        self.retries = 0
+        self.failures = 0
+        self.backoff_seconds = 0.0
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with jitter, in simulated seconds.
+
+    Attempt ``k`` (1-based) that fails waits
+
+        min(max_delay, base_delay * backoff_factor**(k-1)) * (1 + U*jitter)
+
+    before attempt ``k+1``, where ``U ~ Uniform[0, 1)`` comes from a
+    seeded RNG.  The wait is *recorded* (``stats.backoff_seconds``) and
+    pushed to an optional clock — never slept.
+    """
+
+    max_attempts: int = 4
+    base_delay: float = 1e-3
+    backoff_factor: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.1
+    seed: int = 0
+    stats: RetryStats = field(default_factory=RetryStats)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+        self._rng = np.random.default_rng(self.seed)
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Simulated wait after failed attempt ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        delay = min(
+            self.max_delay, self.base_delay * self.backoff_factor ** (attempt - 1)
+        )
+        return delay * (1.0 + float(self._rng.random()) * self.jitter)
+
+    def call(
+        self,
+        fn: Callable[[], object],
+        retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+        clock: Optional[object] = None,
+        on_retry: Optional[Callable[[int, float, BaseException], None]] = None,
+    ) -> object:
+        """Run ``fn`` until it succeeds or attempts are exhausted.
+
+        ``clock`` (anything with ``advance(seconds)``) receives each
+        backoff delay; ``on_retry(attempt, delay, error)`` fires before
+        every re-attempt.  Exceptions outside ``retry_on`` propagate
+        immediately; exhaustion raises :class:`RetryExhaustedError`.
+        """
+        self.stats.calls += 1
+        last: Optional[BaseException] = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except retry_on as err:  # type: ignore[misc]
+                last = err
+                if attempt == self.max_attempts:
+                    break
+                delay = self.backoff_delay(attempt)
+                self.stats.retries += 1
+                self.stats.backoff_seconds += delay
+                if clock is not None:
+                    clock.advance(delay)
+                if on_retry is not None:
+                    on_retry(attempt, delay, err)
+        self.stats.failures += 1
+        assert last is not None
+        raise RetryExhaustedError(self.max_attempts, last) from last

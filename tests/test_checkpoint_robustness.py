@@ -1,0 +1,271 @@
+"""Corruption-path and atomicity tests for the checkpoint layer.
+
+Every corruption mode a parallel filesystem can produce — truncated
+archive, garbage bytes, missing shard, misshapen shard, stale-format
+version, denormalized state — must surface as a ``ValueError`` with a
+descriptive message, never a bare ``FileNotFoundError``/``BadZipFile``
+deep in numpy.  Saves must be atomic: no half-written checkpoint can
+ever exist under the final name.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.hpc.distributed import DistributedStatevector
+from repro.ir.circuit import Circuit
+from repro.sim.checkpoint import (
+    load_distributed,
+    load_statevector,
+    save_distributed,
+    save_statevector,
+)
+from repro.sim.statevector import StatevectorSimulator
+
+
+def _entangling_circuit(n, seed):
+    circ = Circuit(n)
+    rng = np.random.default_rng(seed)
+    for q in range(n):
+        circ.ry(rng.uniform(0, np.pi), q)
+    for q in range(n - 1):
+        circ.cx(q, q + 1)
+    return circ
+
+
+def _continuation_circuit(n):
+    return Circuit(n).rz(0.3, 0).cx(n - 1, 0)
+
+
+def _dense_sim(n=3, seed=11):
+    sim = StatevectorSimulator(n)
+    sim.run(_entangling_circuit(n, seed))
+    return sim
+
+
+def _dist_sim(n=4, ranks=4, seed=3):
+    dsv = DistributedStatevector(n, ranks)
+    dsv.run(_entangling_circuit(n, seed))
+    return dsv
+
+
+class TestDenseCorruption:
+    def test_truncated_npz(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        save_statevector(_dense_sim(), path)
+        raw = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(raw[: len(raw) // 3])
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            load_statevector(path)
+
+    def test_garbage_bytes(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        with open(path, "wb") as fh:
+            fh.write(b"this is not a zip archive")
+        with pytest.raises(ValueError, match="corrupt or truncated"):
+            load_statevector(path)
+
+    def test_missing_keys(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        np.savez_compressed(path, unrelated=np.zeros(4))
+        with pytest.raises(ValueError, match="missing 'state'/'meta'"):
+            load_statevector(path)
+
+    def test_version_mismatch(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        sim = _dense_sim()
+        np.savez_compressed(
+            path,
+            state=sim.state,
+            meta=json.dumps(
+                {"version": 999, "num_qubits": 3, "gates_applied": 0}
+            ),
+        )
+        with pytest.raises(ValueError, match="unsupported checkpoint version"):
+            load_statevector(path)
+
+    def test_wrong_norm(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        np.savez_compressed(
+            path,
+            state=np.full(8, 0.7, dtype=np.complex128),
+            meta=json.dumps(
+                {"version": 1, "num_qubits": 3, "gates_applied": 0}
+            ),
+        )
+        with pytest.raises(ValueError, match=r"\|state\|"):
+            load_statevector(path)
+
+    def test_shape_metadata_mismatch(self, tmp_path):
+        path = str(tmp_path / "ckpt.npz")
+        state = np.zeros(8, dtype=np.complex128)
+        state[0] = 1.0
+        np.savez_compressed(
+            path,
+            state=state,
+            meta=json.dumps(
+                {"version": 1, "num_qubits": 4, "gates_applied": 0}
+            ),
+        )
+        with pytest.raises(ValueError, match="shape does not match"):
+            load_statevector(path)
+
+
+class TestDistributedCorruption:
+    def test_missing_shard_names_rank(self, tmp_path):
+        d = str(tmp_path / "dist")
+        save_distributed(_dist_sim(), d)
+        os.remove(os.path.join(d, "rank_00002.npy"))
+        with pytest.raises(ValueError, match="missing shard\\(s\\) 2 of 4"):
+            load_distributed(d)
+
+    def test_extra_shard_census_mismatch(self, tmp_path):
+        d = str(tmp_path / "dist")
+        save_distributed(_dist_sim(), d)
+        np.save(os.path.join(d, "rank_00009.npy"), np.zeros(4))
+        with pytest.raises(ValueError, match="manifest declares num_ranks=4"):
+            load_distributed(d)
+
+    def test_no_manifest(self, tmp_path):
+        d = tmp_path / "dist"
+        d.mkdir()
+        with pytest.raises(ValueError, match="no manifest.json"):
+            load_distributed(str(d))
+
+    def test_corrupt_manifest(self, tmp_path):
+        d = str(tmp_path / "dist")
+        save_distributed(_dist_sim(), d)
+        with open(os.path.join(d, "manifest.json"), "w") as fh:
+            fh.write("{broken")
+        with pytest.raises(ValueError, match="corrupt checkpoint manifest"):
+            load_distributed(d)
+
+    def test_version_mismatch(self, tmp_path):
+        d = str(tmp_path / "dist")
+        save_distributed(_dist_sim(), d)
+        mpath = os.path.join(d, "manifest.json")
+        manifest = json.load(open(mpath))
+        manifest["version"] = 0
+        json.dump(manifest, open(mpath, "w"))
+        with pytest.raises(ValueError, match="unsupported checkpoint version"):
+            load_distributed(d)
+
+    def test_truncated_shard(self, tmp_path):
+        d = str(tmp_path / "dist")
+        save_distributed(_dist_sim(), d)
+        spath = os.path.join(d, "rank_00001.npy")
+        raw = open(spath, "rb").read()
+        with open(spath, "wb") as fh:
+            fh.write(raw[:10])
+        with pytest.raises(ValueError, match="corrupt or truncated shard 1"):
+            load_distributed(d)
+
+    def test_misshapen_shard(self, tmp_path):
+        d = str(tmp_path / "dist")
+        save_distributed(_dist_sim(), d)
+        np.save(os.path.join(d, "rank_00001.npy"), np.zeros(99, dtype=np.complex128))
+        with pytest.raises(ValueError, match="shard 1 has wrong shape"):
+            load_distributed(d)
+
+    def test_denormalized_total(self, tmp_path):
+        d = str(tmp_path / "dist")
+        dsv = _dist_sim()
+        dsv.slices[0] *= 3.0
+        save_distributed(dsv, d)
+        with pytest.raises(ValueError, match="total norm"):
+            load_distributed(d)
+
+
+class TestAtomicity:
+    def test_dense_save_leaves_no_temp_files(self, tmp_path):
+        save_statevector(_dense_sim(), str(tmp_path / "a"))
+        assert sorted(os.listdir(tmp_path)) == ["a.npz"]
+
+    def test_dense_overwrite_existing(self, tmp_path):
+        path = str(tmp_path / "ckpt")
+        save_statevector(_dense_sim(seed=1), path)
+        sim2 = _dense_sim(seed=2)
+        save_statevector(sim2, path)
+        assert np.allclose(load_statevector(path).state, sim2.state)
+
+    def test_distributed_save_leaves_no_temp_dirs(self, tmp_path):
+        save_distributed(_dist_sim(), str(tmp_path / "dist"))
+        assert sorted(os.listdir(tmp_path)) == ["dist"]
+
+    def test_distributed_overwrite_existing(self, tmp_path):
+        d = str(tmp_path / "dist")
+        save_distributed(_dist_sim(seed=1), d)
+        dsv2 = _dist_sim(seed=2)
+        save_distributed(dsv2, d)
+        assert np.allclose(load_distributed(d).gather(), dsv2.gather())
+        assert sorted(os.listdir(tmp_path)) == ["dist"]
+
+    def test_distributed_failed_save_keeps_previous(self, tmp_path, monkeypatch):
+        """If writing the new checkpoint blows up mid-assembly, the
+        previous checkpoint must survive under the final name."""
+        d = str(tmp_path / "dist")
+        dsv1 = _dist_sim(seed=1)
+        save_distributed(dsv1, d)
+
+        calls = {"n": 0}
+        real_save = np.save
+
+        def exploding_save(path, arr, *a, **k):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise OSError("filesystem full")
+            return real_save(path, arr, *a, **k)
+
+        monkeypatch.setattr(np, "save", exploding_save)
+        with pytest.raises(OSError, match="filesystem full"):
+            save_distributed(_dist_sim(seed=2), d)
+        monkeypatch.undo()
+
+        restored = load_distributed(d)
+        assert np.allclose(restored.gather(), dsv1.gather())
+        assert sorted(os.listdir(tmp_path)) == ["dist"]
+
+
+class TestRoundtripContinue:
+    def test_dense_save_load_continue(self, tmp_path):
+        """Checkpoint mid-circuit, restore, keep applying gates: the
+        result must equal the uninterrupted run."""
+        path = str(tmp_path / "ckpt")
+        uninterrupted = _dense_sim()
+        uninterrupted.run(_continuation_circuit(3), reset=False)
+
+        sim = _dense_sim()
+        save_statevector(sim, path)
+        restored = load_statevector(path)
+        assert restored.gates_applied == sim.gates_applied
+        restored.run(_continuation_circuit(3), reset=False)
+        assert np.allclose(restored.state, uninterrupted.state, atol=1e-12)
+
+    def test_distributed_save_load_continue(self, tmp_path):
+        d = str(tmp_path / "dist")
+        uninterrupted = _dist_sim()
+        uninterrupted.run(_continuation_circuit(4), reset=False)
+
+        dsv = _dist_sim()
+        save_distributed(dsv, d)
+        restored = load_distributed(d)
+        assert restored.layout == dsv.layout
+        assert restored.gates_applied == dsv.gates_applied
+        assert restored.exchanges == dsv.exchanges
+        restored.run(_continuation_circuit(4), reset=False)
+        assert np.allclose(restored.gather(), uninterrupted.gather(), atol=1e-12)
+
+    def test_cross_simulator_agreement_after_restore(self, tmp_path):
+        """Dense and distributed checkpoints of the same circuit agree
+        after restore + further gates."""
+        save_statevector(_dense_sim(n=4, seed=3), str(tmp_path / "a"))
+        save_distributed(_dist_sim(n=4, ranks=2, seed=3), str(tmp_path / "b"))
+        dense = load_statevector(str(tmp_path / "a"))
+        dist = load_distributed(str(tmp_path / "b"))
+        more = Circuit(4).h(0).cx(0, 3)
+        dense.run(more, reset=False)
+        dist.run(more, reset=False)
+        assert np.allclose(dense.state, dist.gather(), atol=1e-12)

@@ -32,6 +32,14 @@ class TestCLI:
         assert rc == 0
         assert "success prob" in capsys.readouterr().out
 
+    def test_faults_h2(self, capsys):
+        rc = main(["faults", "h2", "--crash-iteration", "1", "--seed", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "state identical to fault-free run" in out
+        assert "restarts" in out
+        assert "PASS" in out
+
     def test_unknown_molecule(self):
         with pytest.raises(SystemExit):
             main(["vqe", "benzene"])
