@@ -1,0 +1,139 @@
+"""Observability overhead — disabled instrumentation must be free.
+
+The telemetry layer (`repro.obs`) weaves span/counter hooks through
+the VQE hot path.  Its contract: with observability *disabled* (the
+default), those hooks cost < 5% of a 12-qubit VQE iteration.  The
+disabled path executes only `obs.span()` (returning the shared no-op
+span) and `obs.enabled()` guards, so the bound is checked two ways:
+
+* an analytic bound — count the instrumentation events one enabled
+  iteration emits, multiply by the measured per-event no-op cost, and
+  compare against the disabled iteration time;
+* a direct A/B — disabled vs fully-enabled iteration medians, reported
+  for context (enabled mode is allowed to cost more; it records).
+"""
+
+import statistics
+import time
+
+import numpy as np
+
+from _util import write_table
+from repro import obs
+from repro.chem.pools import qubit_pool
+from repro.chem.reference import hartree_fock_state
+from repro.core.vqe import VQE
+from repro.ir.pauli import PauliSum
+
+N_QUBITS = 12
+N_ELECTRONS = 6
+OVERHEAD_BUDGET = 0.05  # the ISSUE's 5% ceiling
+
+
+def _label(pairs):
+    chars = ["I"] * N_QUBITS
+    for pos, p in pairs:
+        chars[pos] = p
+    return "".join(chars)
+
+
+def _hamiltonian() -> PauliSum:
+    """Deterministic 12-qubit test Hamiltonian (TFIM-like + fields)."""
+    labels = {}
+    for q in range(N_QUBITS - 1):
+        labels[_label([(q, "Z"), (q + 1, "Z")])] = 0.25 + 0.01 * q
+    for q in range(N_QUBITS):
+        labels[_label([(q, "X")])] = -0.5 + 0.02 * q
+        labels[_label([(q, "Z")])] = 0.3 - 0.01 * q
+    return PauliSum.from_label_dict(labels)
+
+
+def _make_vqe() -> VQE:
+    generators = [op.generator for op in qubit_pool(N_QUBITS, N_ELECTRONS)[:6]]
+    return VQE(
+        _hamiltonian(),
+        generators=generators,
+        reference_state=hartree_fock_state(N_QUBITS, N_ELECTRONS),
+    )
+
+
+def _median_iteration_s(vqe, params, rounds=7):
+    times = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        vqe.energy(params)
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def _noop_event_cost_s(calls=200_000):
+    """Per-event cost of the disabled hooks (span enter/exit + guard)."""
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        with obs.span("bench.noop"):
+            pass
+    span_cost = (time.perf_counter() - t0) / calls
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        if obs.enabled():  # the hot-path counter guard
+            obs.inc("bench_noop_total")
+    guard_cost = (time.perf_counter() - t0) / calls
+    return max(span_cost, guard_cost)
+
+
+def _measure():
+    obs.disable()
+    obs.reset()
+    vqe = _make_vqe()
+    params = np.full(vqe.num_parameters, 0.05)
+    vqe.energy(params)  # warm caches / JIT-free but fills lazy setup
+
+    disabled_s = _median_iteration_s(vqe, params)
+    per_event_s = _noop_event_cost_s()
+
+    # One enabled iteration counts the instrumentation events the
+    # disabled path still touches (spans entered + counter guards).
+    obs.configure(enabled=True)
+    obs.reset()
+    vqe.energy(params)
+    spans = len(obs.get_tracer().spans)
+    counter_events = sum(
+        int(row["value"])
+        for row in obs.get_registry().snapshot()
+        if row["type"] == "counter"
+    )
+    enabled_s = _median_iteration_s(vqe, params)
+    obs.disable()
+    obs.reset()
+
+    events = spans + counter_events
+    bound_fraction = (events * per_event_s) / disabled_s
+    return {
+        "disabled_s": disabled_s,
+        "enabled_s": enabled_s,
+        "per_event_s": per_event_s,
+        "events": events,
+        "bound_fraction": bound_fraction,
+    }
+
+
+def test_disabled_obs_overhead_under_budget(benchmark):
+    m = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    table = write_table(
+        "obs_overhead",
+        ["metric", "value"],
+        [
+            ("qubits", N_QUBITS),
+            ("iteration disabled (s)", f"{m['disabled_s']:.4f}"),
+            ("iteration enabled (s)", f"{m['enabled_s']:.4f}"),
+            ("instrumentation events/iter", m["events"]),
+            ("no-op cost/event (s)", f"{m['per_event_s']:.2e}"),
+            ("disabled overhead bound", f"{m['bound_fraction']:.4%}"),
+            ("budget", f"{OVERHEAD_BUDGET:.0%}"),
+        ],
+        caption="Disabled-observability overhead on a 12-qubit VQE "
+        "iteration (bound = events x no-op cost / iteration time)",
+    )
+    print("\n" + table)
+    assert m["events"] > 0  # the hot path is actually instrumented
+    assert m["bound_fraction"] < OVERHEAD_BUDGET

@@ -14,11 +14,15 @@ Layers (bottom-up):
 * :mod:`repro.core` — the paper's optimized VQE flow: caching,
   estimation strategies, VQE/ADAPT drivers, resource counting, and the
   end-to-end workflow of Fig. 2
+* :mod:`repro.obs` — unified observability: span tracing (Chrome
+  trace-event export), metrics (Prometheus exposition), run reports
 """
 
 __version__ = "1.0.0"
 
+from repro import obs
 from repro.ir import Circuit, Gate, Parameter, PauliString, PauliSum
+from repro.obs import MetricsRegistry, RunReport, Tracer
 from repro.sim import StatevectorSimulator, fuse_circuit, get_backend
 
 __all__ = [
@@ -31,4 +35,8 @@ __all__ = [
     "StatevectorSimulator",
     "fuse_circuit",
     "get_backend",
+    "obs",
+    "Tracer",
+    "MetricsRegistry",
+    "RunReport",
 ]

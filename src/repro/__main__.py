@@ -5,4 +5,10 @@ import sys
 from repro.cli import main
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout went away mid-print (e.g. piped into `head`); exit
+        # quietly with the conventional SIGPIPE status.
+        sys.stderr.close()
+        sys.exit(141)

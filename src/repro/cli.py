@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the workflows the paper demonstrates:
+Six commands cover the workflows the paper demonstrates:
 
 * ``vqe``   — the Fig. 2 pipeline on a named molecule (optionally with
   frozen-core downfolding),
@@ -10,9 +10,21 @@ Five commands cover the workflows the paper demonstrates:
 * ``faults`` — the fault-injection/recovery demo: a distributed run
   surviving transient exchange faults via retries, a checkpointed
   ADAPT campaign surviving an injected rank crash, and a batch
-  schedule degrading around a dead rank.
+  schedule degrading around a dead rank,
+* ``report`` — pretty-print a run report saved with ``--report-out``.
 
-Everything prints plain aligned text; exit code 0 means the run
+Every run command accepts the observability flags:
+
+* ``--profile``      — enable tracing/metrics and print a run report,
+* ``--trace-out F``  — write a Chrome trace-event JSON (Perfetto),
+* ``--metrics-out F``— write metrics (Prometheus text, or JSONL when
+  the filename ends in ``.jsonl``),
+* ``--report-out F`` — write the aggregated run report as JSON,
+
+and ``vqe`` / ``adapt`` / ``counts`` / ``faults`` take ``--json`` to
+emit machine-readable results on stdout instead of aligned text.
+
+Everything else prints plain aligned text; exit code 0 means the run
 completed and (where an exact reference exists) matched it to the
 requested tolerance.
 """
@@ -20,13 +32,20 @@ requested tolerance.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
+from repro import obs
 from repro.chem.molecule import Molecule, h2, h2o, h4_chain, lih
 
 _MOLECULES = {"h2": h2, "h2o": h2o, "h4": h4_chain, "lih": lih}
+
+# extra report context stashed by the command that just ran (ledgers,
+# convergence traces, command-specific meta) and consumed by
+# ``_finalize_obs``
+_REPORT_EXTRAS: Dict[str, Any] = {}
 
 
 def _get_molecule(name: str) -> Molecule:
@@ -36,6 +55,30 @@ def _get_molecule(name: str) -> Molecule:
         raise SystemExit(
             f"unknown molecule {name!r}; choose from {sorted(_MOLECULES)}"
         )
+
+
+def _note_report(
+    meta: Optional[Dict[str, Any]] = None,
+    comm_stats: Optional[object] = None,
+    cache_stats: Optional[object] = None,
+    fault_ledger: Optional[object] = None,
+    convergence: Optional[Dict[str, List[float]]] = None,
+) -> None:
+    """Record command-level context for the final run report."""
+    if meta:
+        _REPORT_EXTRAS.setdefault("meta", {}).update(meta)
+    for key, value in (
+        ("comm_stats", comm_stats),
+        ("cache_stats", cache_stats),
+        ("fault_ledger", fault_ledger),
+        ("convergence", convergence),
+    ):
+        if value is not None:
+            _REPORT_EXTRAS[key] = value
+
+
+def _emit_json(payload: Dict[str, Any]) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
 
 
 def _cmd_vqe(args: argparse.Namespace) -> int:
@@ -53,6 +96,40 @@ def _cmd_vqe(args: argparse.Namespace) -> int:
         compute_exact=not args.no_exact,
     )
     dt = time.perf_counter() - t0
+    _note_report(
+        meta={
+            "molecule": args.molecule,
+            "qubits": result.num_qubits,
+            "pauli_terms": result.qubit_hamiltonian.num_terms,
+            "vqe_energy": result.vqe.energy,
+        },
+        convergence={"energy": list(result.vqe.history)},
+    )
+    failed = (
+        result.exact_energy is not None and result.error_vs_exact > args.tol
+    )
+    if args.json:
+        _emit_json(
+            {
+                "command": "vqe",
+                "molecule": args.molecule,
+                "qubits": result.num_qubits,
+                "pauli_terms": result.qubit_hamiltonian.num_terms,
+                "rhf_energy": result.scf.energy,
+                "vqe_energy": result.vqe.energy,
+                "exact_energy": result.exact_energy,
+                "error_mha": (
+                    result.error_vs_exact * 1000
+                    if result.exact_energy is not None
+                    else None
+                ),
+                "converged": result.vqe.converged,
+                "num_function_evaluations": result.vqe.num_function_evaluations,
+                "wall_time_s": dt,
+                "passed": not failed,
+            }
+        )
+        return 1 if failed else 0
     print(f"molecule:        {molecule}")
     print(f"qubits:          {result.num_qubits}")
     print(f"Pauli terms:     {result.qubit_hamiltonian.num_terms}")
@@ -64,7 +141,7 @@ def _cmd_vqe(args: argparse.Namespace) -> int:
         print(f"exact energy:    {result.exact_energy:+.8f} Ha")
         print(f"error:           {result.error_vs_exact * 1000:.5f} mHa")
     print(f"wall time:       {dt:.1f} s")
-    if result.exact_energy is not None and result.error_vs_exact > args.tol:
+    if failed:
         print(f"FAILED: error above tolerance {args.tol}")
         return 1
     return 0
@@ -77,7 +154,7 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
     from repro.chem.pools import uccsd_pool
     from repro.chem.reference import hartree_fock_state
     from repro.chem.scf import run_rhf
-    from repro.core.adapt import AdaptVQE
+    from repro.core.adapt import AdaptVQE, convergence_traces
 
     molecule = _get_molecule(args.molecule)
     scf = run_rhf(molecule)
@@ -101,8 +178,42 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
         reference_energy=e_ref,
         energy_tolerance=1e-3,
     )
-    result = adapt.run(verbose=True)
+    result = adapt.run(verbose=not args.json)
     hit = result.iterations_to_accuracy(1e-3)
+    _note_report(
+        meta={
+            "molecule": args.molecule,
+            "qubits": n_qubits,
+            "adapt_energy": result.energy,
+            "iterations": len(result.iterations),
+        },
+        convergence=convergence_traces(result.iterations),
+    )
+    if args.json:
+        _emit_json(
+            {
+                "command": "adapt",
+                "molecule": args.molecule,
+                "qubits": n_qubits,
+                "exact_energy": e_ref,
+                "final_energy": result.energy,
+                "converged": result.converged,
+                "mha_at_iteration": hit,
+                "iterations": [
+                    {
+                        "iteration": it.iteration,
+                        "selected_label": it.selected_label,
+                        "max_gradient": it.max_gradient,
+                        "energy": it.energy,
+                        "error_vs_reference": it.error_vs_reference,
+                        "num_parameters": it.num_parameters,
+                    }
+                    for it in result.iterations
+                ],
+                "passed": hit is not None,
+            }
+        )
+        return 0 if hit is not None else 1
     print(f"exact:   {e_ref:+.8f} Ha")
     print(f"final:   {result.energy:+.8f} Ha")
     print(f"1 mHa at iteration: {hit}")
@@ -129,6 +240,9 @@ def _cmd_qpe(args: argparse.Namespace) -> int:
         num_ancillas=args.ancillas,
         energy_window=window,
     )
+    _note_report(
+        meta={"molecule": args.molecule, "qpe_energy": res.energy}
+    )
     print(f"QPE energy:   {res.energy:+.8f} Ha")
     print(f"exact:        {e_exact:+.8f} Ha")
     print(f"resolution:   {res.resolution * 1000:.4f} mHa")
@@ -144,16 +258,32 @@ def _cmd_counts(args: argparse.Namespace) -> int:
         uccsd_gate_count,
     )
 
+    rows = []
+    for n in range(args.min_qubits, args.max_qubits + 1, 2):
+        cost = energy_evaluation_gate_counts(n)
+        rows.append(
+            {
+                "qubits": n,
+                "uccsd_gates": uccsd_gate_count(n),
+                "pauli_terms": jw_pauli_term_count(n),
+                "memory_gib": statevector_memory_bytes(n) / (1 << 30),
+                "non_caching_gates": cost.non_caching_gates,
+                "caching_gates": cost.caching_gates,
+            }
+        )
+    _note_report(meta={"rows": len(rows)})
+    if args.json:
+        _emit_json({"command": "counts", "rows": rows})
+        return 0
     print(
         f"{'qubits':>7} {'uccsd_gates':>12} {'pauli_terms':>12} "
         f"{'memory_GiB':>11} {'non_caching':>12} {'caching':>10}"
     )
-    for n in range(args.min_qubits, args.max_qubits + 1, 2):
-        cost = energy_evaluation_gate_counts(n)
+    for r in rows:
         print(
-            f"{n:>7} {uccsd_gate_count(n):>12,} {jw_pauli_term_count(n):>12,} "
-            f"{statevector_memory_bytes(n) / (1 << 30):>11.4f} "
-            f"{cost.non_caching_gates:>12.2e} {cost.caching_gates:>10.2e}"
+            f"{r['qubits']:>7} {r['uccsd_gates']:>12,} {r['pauli_terms']:>12,} "
+            f"{r['memory_gib']:>11.4f} "
+            f"{r['non_caching_gates']:>12.2e} {r['caching_gates']:>10.2e}"
         )
     return 0
 
@@ -208,13 +338,14 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     faulty.run(circuit)
     stats = faulty.comm.stats
     identical = bool(np.allclose(faulty.gather(), clean.gather(), atol=1e-12))
-    print(f"distributed run:  {n} qubits over {args.ranks} ranks, "
-          f"{faulty.gates_applied} gates, {faulty.exchanges} exchanges")
-    print(f"  transient faults: {stats.transient_errors:3d}   "
-          f"corrupted msgs: {stats.corrupted_messages}")
-    print(f"  retries:          {stats.retries:3d}   "
-          f"simulated backoff: {stats.retry_backoff_s * 1e3:.3f} ms")
-    print(f"  state identical to fault-free run: {identical}")
+    if not args.json:
+        print(f"distributed run:  {n} qubits over {args.ranks} ranks, "
+              f"{faulty.gates_applied} gates, {faulty.exchanges} exchanges")
+        print(f"  transient faults: {stats.transient_errors:3d}   "
+              f"corrupted msgs: {stats.corrupted_messages}")
+        print(f"  retries:          {stats.retries:3d}   "
+              f"simulated backoff: {stats.retry_backoff_s * 1e3:.3f} ms")
+        print(f"  state identical to fault-free run: {identical}")
 
     # -- 2. checkpointed ADAPT campaign surviving a rank crash ---------------
     def make_adapt() -> AdaptVQE:
@@ -245,15 +376,25 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         )
         campaign = runner.run_adapt(make_adapt())
     drift = abs(campaign.energy - baseline.energy)
-    print(f"adapt campaign:   crash injected at iteration {args.crash_iteration}, "
-          f"checkpoint period {args.checkpoint_period}")
-    print(f"  restarts: {campaign.restarts}   iterations recomputed: "
-          f"{campaign.iterations_recomputed}   checkpoints: "
-          f"{campaign.checkpoints_written}")
-    print(f"  {campaign.fault_ledger.summary()}")
-    print(f"  fault-free energy: {baseline.energy:+.10f} Ha")
-    print(f"  recovered energy:  {campaign.energy:+.10f} Ha  "
-          f"(drift {drift:.2e} Ha)")
+    _note_report(
+        comm_stats=runner.comm_stats,
+        fault_ledger=campaign.fault_ledger,
+        meta={
+            "molecule": args.molecule,
+            "restarts": campaign.restarts,
+            "recovered_energy": campaign.energy,
+        },
+    )
+    if not args.json:
+        print(f"adapt campaign:   crash injected at iteration {args.crash_iteration}, "
+              f"checkpoint period {args.checkpoint_period}")
+        print(f"  restarts: {campaign.restarts}   iterations recomputed: "
+              f"{campaign.iterations_recomputed}   checkpoints: "
+              f"{campaign.checkpoints_written}")
+        print(f"  {campaign.fault_ledger.summary()}")
+        print(f"  fault-free energy: {baseline.energy:+.10f} Ha")
+        print(f"  recovered energy:  {campaign.energy:+.10f} Ha  "
+              f"(drift {drift:.2e} Ha)")
 
     # -- 3. batch schedule degrading around a dead rank ----------------------
     scheduler = BatchScheduler(args.ranks)
@@ -262,6 +403,46 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     degraded = scheduler.reschedule_after_failure(
         healthy, dead_rank=0, completed=[j.name for j in healthy.assignments[0][:1]]
     )
+    ok = identical and drift < 1e-8
+    if args.json:
+        _emit_json(
+            {
+                "command": "faults",
+                "molecule": args.molecule,
+                "distributed": {
+                    "qubits": n,
+                    "ranks": args.ranks,
+                    "gates": faulty.gates_applied,
+                    "exchanges": faulty.exchanges,
+                    "transient_faults": stats.transient_errors,
+                    "corrupted_messages": stats.corrupted_messages,
+                    "retries": stats.retries,
+                    "retry_backoff_s": stats.retry_backoff_s,
+                    "state_identical": identical,
+                },
+                "campaign": {
+                    "crash_iteration": args.crash_iteration,
+                    "checkpoint_period": args.checkpoint_period,
+                    "restarts": campaign.restarts,
+                    "iterations_recomputed": campaign.iterations_recomputed,
+                    "checkpoints_written": campaign.checkpoints_written,
+                    "fault_free_energy": baseline.energy,
+                    "recovered_energy": campaign.energy,
+                    "drift_ha": drift,
+                },
+                "schedule": {
+                    "jobs": len(jobs),
+                    "ranks": args.ranks,
+                    "healthy_makespan_s": healthy.makespan,
+                    "healthy_speedup": healthy.speedup,
+                    "degraded_makespan_s": degraded.makespan,
+                    "degraded_speedup": degraded.speedup,
+                    "survivors": degraded.num_survivors,
+                },
+                "passed": ok,
+            }
+        )
+        return 0 if ok else 1
     print(f"batch schedule:   {len(jobs)} jobs on {args.ranks} ranks, rank 0 dies")
     print(f"  healthy : makespan {healthy.makespan:.4f} s  "
           f"speedup {healthy.speedup:.2f}x")
@@ -269,9 +450,101 @@ def _cmd_faults(args: argparse.Namespace) -> int:
           f"speedup {degraded.speedup:.2f}x  "
           f"(survivors: {degraded.num_survivors})")
 
-    ok = identical and drift < 1e-8
     print("PASS" if ok else "FAILED: recovery drifted from the fault-free run")
     return 0 if ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import RunReport
+
+    report = RunReport.load(args.path)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.summary())
+    return 0
+
+
+# -- observability plumbing ---------------------------------------------------
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("observability")
+    g.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable tracing/metrics and print a run report",
+    )
+    g.add_argument(
+        "--trace-out",
+        default="",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON (view in Perfetto)",
+    )
+    g.add_argument(
+        "--metrics-out",
+        default="",
+        metavar="FILE",
+        help="write metrics (Prometheus text; JSONL if FILE ends in .jsonl)",
+    )
+    g.add_argument(
+        "--report-out",
+        default="",
+        metavar="FILE",
+        help="write the aggregated run report as JSON",
+    )
+
+
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "profile", False)
+        or getattr(args, "trace_out", "")
+        or getattr(args, "metrics_out", "")
+        or getattr(args, "report_out", "")
+    )
+
+
+def _setup_obs(args: argparse.Namespace) -> bool:
+    if not _obs_requested(args):
+        return False
+    obs.reset()
+    obs.configure(enabled=True)
+    _REPORT_EXTRAS.clear()
+    return True
+
+
+def _finalize_obs(args: argparse.Namespace, wall_time_s: float) -> None:
+    """Write the requested artifacts and (under --profile) the summary."""
+    meta = {"command": f"repro {args.command}"}
+    meta.update(_REPORT_EXTRAS.get("meta", {}))
+    report = obs.collect_report(
+        meta=meta,
+        comm_stats=_REPORT_EXTRAS.get("comm_stats"),
+        cache_stats=_REPORT_EXTRAS.get("cache_stats"),
+        fault_ledger=_REPORT_EXTRAS.get("fault_ledger"),
+        convergence=_REPORT_EXTRAS.get("convergence"),
+        wall_time_s=wall_time_s,
+    )
+    notices = []
+    if args.trace_out:
+        obs.get_tracer().write_chrome_trace(args.trace_out)
+        notices.append(f"trace written to {args.trace_out}")
+    if args.metrics_out:
+        registry = obs.get_registry()
+        if args.metrics_out.endswith(".jsonl"):
+            registry.write_jsonl(args.metrics_out)
+        else:
+            registry.write_prometheus(args.metrics_out)
+        notices.append(f"metrics written to {args.metrics_out}")
+    if args.report_out:
+        report.save(args.report_out)
+        notices.append(f"report written to {args.report_out}")
+    # keep stdout machine-readable under --json
+    stream = sys.stderr if getattr(args, "json", False) else sys.stdout
+    for line in notices:
+        print(line, file=stream)
+    if args.profile:
+        print(report.summary(), file=stream)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -288,6 +561,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_vqe.add_argument("--no-downfold", action="store_true")
     p_vqe.add_argument("--no-exact", action="store_true")
     p_vqe.add_argument("--tol", type=float, default=1e-4)
+    p_vqe.add_argument("--json", action="store_true", help="emit JSON on stdout")
+    _add_obs_args(p_vqe)
     p_vqe.set_defaults(func=_cmd_vqe)
 
     p_adapt = sub.add_parser("adapt", help="run ADAPT-VQE (Fig. 5)")
@@ -295,16 +570,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_adapt.add_argument("--core", default="")
     p_adapt.add_argument("--active", default="")
     p_adapt.add_argument("--max-iterations", type=int, default=25)
+    p_adapt.add_argument("--json", action="store_true", help="emit JSON on stdout")
+    _add_obs_args(p_adapt)
     p_adapt.set_defaults(func=_cmd_adapt)
 
     p_qpe = sub.add_parser("qpe", help="run quantum phase estimation")
     p_qpe.add_argument("molecule")
     p_qpe.add_argument("--ancillas", type=int, default=10)
+    _add_obs_args(p_qpe)
     p_qpe.set_defaults(func=_cmd_qpe)
 
     p_counts = sub.add_parser("counts", help="Fig. 1/3 resource sweeps")
     p_counts.add_argument("--min-qubits", type=int, default=12)
     p_counts.add_argument("--max-qubits", type=int, default=30)
+    p_counts.add_argument("--json", action="store_true", help="emit JSON on stdout")
+    _add_obs_args(p_counts)
     p_counts.set_defaults(func=_cmd_counts)
 
     p_faults = sub.add_parser(
@@ -318,7 +598,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--crash-iteration", type=int, default=1)
     p_faults.add_argument("--checkpoint-period", type=int, default=1)
     p_faults.add_argument("--max-iterations", type=int, default=10)
+    p_faults.add_argument("--json", action="store_true", help="emit JSON on stdout")
+    _add_obs_args(p_faults)
     p_faults.set_defaults(func=_cmd_faults)
+
+    p_report = sub.add_parser(
+        "report", help="pretty-print a saved run report (--report-out)"
+    )
+    p_report.add_argument("path", help="run-report JSON file")
+    p_report.add_argument(
+        "--json", action="store_true", help="dump the raw report JSON"
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     return parser
 
@@ -326,7 +617,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    profiling = _setup_obs(args)
+    t0 = time.perf_counter()
+    try:
+        rc = args.func(args)
+    finally:
+        if profiling:
+            _finalize_obs(args, wall_time_s=time.perf_counter() - t0)
+            obs.disable()
+    return rc
 
 
 if __name__ == "__main__":

@@ -16,21 +16,46 @@ iteration 16.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.chem.pools import PoolOperator
 from repro.ir.pauli import PauliSum
 from repro.opt.base import Optimizer
 from repro.opt.gradient import AnsatzObjective
 from repro.opt.scipy_wrap import LBFGSB
+from repro.utils.profiling import Timer
 
-__all__ = ["AdaptVQE", "AdaptResult", "AdaptIteration", "AdaptState"]
+__all__ = [
+    "AdaptVQE",
+    "AdaptResult",
+    "AdaptIteration",
+    "AdaptState",
+    "convergence_traces",
+]
 
 CHEMICAL_ACCURACY_HA = 1.594e-3  # 1 kcal/mol in Hartree
 MILLI_HARTREE = 1e-3
+
+
+def convergence_traces(iterations: Sequence["AdaptIteration"]) -> dict:
+    """Per-iteration convergence series for run reports / plotting."""
+    traces = {
+        "energy": [it.energy for it in iterations],
+        "max_gradient": [it.max_gradient for it in iterations],
+    }
+    errors = [
+        it.error_vs_reference
+        for it in iterations
+        if it.error_vs_reference is not None
+    ]
+    if errors:
+        traces["error_vs_reference"] = errors
+    return traces
 
 
 @dataclass
@@ -66,7 +91,11 @@ class AdaptState:
 
 @dataclass
 class AdaptResult:
-    """Full ADAPT-VQE trajectory (the Fig. 5 data)."""
+    """Full ADAPT-VQE trajectory (the Fig. 5 data).
+
+    ``report`` is a :class:`repro.obs.RunReport` when observability was
+    enabled for the run, else ``None``.
+    """
 
     energy: float
     parameters: np.ndarray
@@ -74,6 +103,7 @@ class AdaptResult:
     iterations: List[AdaptIteration]
     converged: bool
     reference_energy: Optional[float]
+    report: Optional[object] = None
 
     @property
     def energy_errors(self) -> List[float]:
@@ -122,6 +152,7 @@ class AdaptVQE:
         gradient_tolerance: float = 1e-4,
         energy_tolerance: Optional[float] = None,
         reference_energy: Optional[float] = None,
+        timer: Optional[Timer] = None,
     ):
         if not pool:
             raise ValueError("pool is empty")
@@ -133,13 +164,15 @@ class AdaptVQE:
         self.gradient_tolerance = gradient_tolerance
         self.energy_tolerance = energy_tolerance
         self.reference_energy = reference_energy
+        self.timer = timer
 
     def pool_gradients(self, state: np.ndarray) -> np.ndarray:
         """<[H, A_k]> for every candidate, on the given state."""
-        h_state = self.hamiltonian.apply(state)
-        grads = np.empty(len(self.pool))
-        for k, op in enumerate(self.pool):
-            grads[k] = 2.0 * np.real(np.vdot(h_state, op.generator.apply(state)))
+        with obs.span("adapt.pool_screening", pool_size=len(self.pool)):
+            h_state = self.hamiltonian.apply(state)
+            grads = np.empty(len(self.pool))
+            for k, op in enumerate(self.pool):
+                grads[k] = 2.0 * np.real(np.vdot(h_state, op.generator.apply(state)))
         return grads
 
     # -- stepwise interface (checkpointable campaign loop) ----------------------
@@ -171,6 +204,10 @@ class AdaptVQE:
         tolerance."""
         if st.converged:
             return st
+        with obs.span("adapt.step", iteration=st.iteration + 1):
+            return self._step_impl(st, verbose)
+
+    def _step_impl(self, st: AdaptState, verbose: bool) -> AdaptState:
         if st.statevector is None:
             st.statevector = self.prepare_statevector(st)
         grads = self.pool_gradients(st.statevector)
@@ -189,9 +226,20 @@ class AdaptVQE:
             [self.pool[k].generator for k in st.chosen_indices],
             self.hamiltonian,
         )
-        res = self.optimizer.minimize(
-            objective.energy, params, gradient=objective.gradient
-        )
+        with obs.span(
+            "adapt.reoptimize",
+            iteration=st.iteration,
+            parameters=len(params),
+        ):
+            if self.timer is not None:
+                with self.timer.section("adapt_reoptimize"):
+                    res = self.optimizer.minimize(
+                        objective.energy, params, gradient=objective.gradient
+                    )
+            else:
+                res = self.optimizer.minimize(
+                    objective.energy, params, gradient=objective.gradient
+                )
         st.parameters = res.x
         st.energy = res.fun
         st.statevector = objective.prepare_state(st.parameters)
@@ -211,6 +259,18 @@ class AdaptVQE:
                 num_parameters=len(st.parameters),
             )
         )
+        if obs.enabled():
+            obs.inc(
+                "repro_adapt_iterations_total", help="ADAPT growth iterations"
+            )
+            obs.gauge_set(
+                "repro_adapt_energy", st.energy, help="Current ADAPT energy (Ha)"
+            )
+            obs.gauge_set(
+                "repro_adapt_max_gradient",
+                g_max,
+                help="Largest pool gradient at the last screening",
+            )
         if verbose:
             err_s = f" dE={err*1000:.4f} mHa" if err is not None else ""
             print(
@@ -237,7 +297,27 @@ class AdaptVQE:
         )
 
     def run(self, verbose: bool = False) -> AdaptResult:
+        t_start = time.perf_counter()
         st = self.initial_state()
-        while not st.converged and st.iteration < self.max_iterations:
-            self.step(st, verbose=verbose)
-        return self.result(st)
+        with obs.span(
+            "adapt.run",
+            pool_size=len(self.pool),
+            max_iterations=self.max_iterations,
+        ):
+            while not st.converged and st.iteration < self.max_iterations:
+                self.step(st, verbose=verbose)
+        result = self.result(st)
+        if obs.enabled():
+            result.report = obs.collect_report(
+                meta={
+                    "kind": "adapt",
+                    "num_qubits": self.hamiltonian.num_qubits,
+                    "pool_size": len(self.pool),
+                    "iterations": st.iteration,
+                    "energy": result.energy,
+                    "converged": result.converged,
+                },
+                convergence=convergence_traces(result.iterations),
+                wall_time_s=time.perf_counter() - t_start,
+            )
+        return result

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.ir.circuit import Circuit
 from repro.ir.pauli import PauliSum
 from repro.sim.expectation import basis_change_circuit, diagonal_expectation
@@ -164,6 +165,12 @@ class CachedEnergyEvaluator:
         return state.copy()
 
     def energy(self, params: np.ndarray) -> float:
+        with obs.span(
+            "cache.energy_eval", groups=self.num_groups, caching=self.use_caching
+        ):
+            return self._energy_impl(params)
+
+    def _energy_impl(self, params: np.ndarray) -> float:
         params = np.atleast_1d(np.asarray(params, dtype=float))
         cached: Optional[np.ndarray] = None
         if self.use_caching:
@@ -172,8 +179,12 @@ class CachedEnergyEvaluator:
                 cached = self._prepare(params)
                 self.cache.put(params, cached)
                 self.ledger.cache_misses += 1
+                if obs.enabled():
+                    obs.inc("repro_cache_misses_total", help="Post-ansatz cache misses")
             else:
                 self.ledger.cache_hits += 1
+                if obs.enabled():
+                    obs.inc("repro_cache_hits_total", help="Post-ansatz cache hits")
 
         total = 0.0
         for group, basis in zip(self._groups, self._basis_circuits):

@@ -34,12 +34,20 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 import numpy as np
 
-from repro.core.adapt import AdaptIteration, AdaptResult, AdaptState, AdaptVQE
+from repro import obs
+from repro.core.adapt import (
+    AdaptIteration,
+    AdaptResult,
+    AdaptState,
+    AdaptVQE,
+    convergence_traces,
+)
 from repro.core.vqe import VQE, VQEResult
 from repro.hpc.comm import SimComm
 from repro.hpc.distributed import DistributedStatevector
@@ -60,7 +68,11 @@ class CampaignFailedError(RuntimeError):
 
 @dataclass
 class CampaignResult:
-    """A converged campaign plus its recovery bookkeeping."""
+    """A converged campaign plus its recovery bookkeeping.
+
+    ``report`` is a :class:`repro.obs.RunReport` when observability was
+    enabled for the campaign, else ``None``.
+    """
 
     result: Union[AdaptResult, VQEResult]
     restarts: int
@@ -69,6 +81,7 @@ class CampaignResult:
     resumed_from: Optional[int]
     fault_ledger: Optional[FaultLedger]
     simulated_backoff_s: float = 0.0
+    report: Optional[object] = None
 
     @property
     def energy(self) -> float:
@@ -134,11 +147,15 @@ class CampaignRunner:
         self.checkpoints_written = 0
         self._crosscheck_comm: Optional[SimComm] = None
         os.makedirs(checkpoint_dir, exist_ok=True)
+        if obs.enabled():
+            # simulated-time span attributes follow the campaign clock
+            obs.set_clock(self.clock)
 
     # -- ADAPT campaigns ----------------------------------------------------------
 
     def run_adapt(self, adapt: AdaptVQE, verbose: bool = False) -> CampaignResult:
         """Run (or resume) an ADAPT-VQE campaign to convergence."""
+        t_start = time.perf_counter()
         st = self._load_adapt_state(adapt)
         resumed_from = st.iteration if st is not None else None
         if st is None:
@@ -147,16 +164,24 @@ class CampaignRunner:
         recomputed = 0
         while not st.converged and st.iteration < adapt.max_iterations:
             try:
-                if self.fault_injector is not None:
-                    # the crash lands *mid-iteration*: the step's work
-                    # is lost and the campaign rolls back
-                    self.fault_injector.check_campaign_faults(st.iteration + 1)
-                adapt.step(st, verbose=verbose)
-                if st.converged or st.iteration % self.checkpoint_period == 0:
-                    self._save_adapt_state(st)
-                    self._distributed_crosscheck(adapt, st)
+                with obs.span(
+                    "campaign.iteration", iteration=st.iteration + 1
+                ):
+                    if self.fault_injector is not None:
+                        # the crash lands *mid-iteration*: the step's work
+                        # is lost and the campaign rolls back
+                        self.fault_injector.check_campaign_faults(st.iteration + 1)
+                    adapt.step(st, verbose=verbose)
+                    if st.converged or st.iteration % self.checkpoint_period == 0:
+                        self._save_adapt_state(st)
+                        self._distributed_crosscheck(adapt, st)
             except RankFailure as err:
                 restarts += 1
+                if obs.enabled():
+                    obs.inc(
+                        "repro_campaign_restarts_total",
+                        help="Campaign rollbacks after rank failures",
+                    )
                 if restarts > self.max_restarts:
                     raise CampaignFailedError(
                         f"gave up after {restarts} rank failures (last: {err})"
@@ -170,8 +195,9 @@ class CampaignRunner:
                         f"{st.iteration}, restart {restarts}/{self.max_restarts}"
                     )
         self._save_adapt_state(st)
-        return CampaignResult(
-            result=adapt.result(st),
+        result = adapt.result(st)
+        campaign_result = CampaignResult(
+            result=result,
             restarts=restarts,
             checkpoints_written=self.checkpoints_written,
             iterations_recomputed=recomputed,
@@ -180,6 +206,40 @@ class CampaignRunner:
                 self.fault_injector.ledger if self.fault_injector else None
             ),
             simulated_backoff_s=self.clock.now,
+        )
+        if obs.enabled():
+            campaign_result.report = self._collect_report(
+                kind="adapt_campaign",
+                result=campaign_result,
+                convergence=convergence_traces(result.iterations),
+                wall_time_s=time.perf_counter() - t_start,
+            )
+        return campaign_result
+
+    def _collect_report(
+        self,
+        kind: str,
+        result: "CampaignResult",
+        convergence: Optional[dict],
+        wall_time_s: float,
+    ):
+        """Aggregate campaign-level telemetry into one RunReport."""
+        return obs.collect_report(
+            meta={
+                "kind": kind,
+                "energy": result.energy,
+                "restarts": result.restarts,
+                "checkpoints_written": result.checkpoints_written,
+                "iterations_recomputed": result.iterations_recomputed,
+                "resumed_from": result.resumed_from,
+                "simulated_backoff_s": result.simulated_backoff_s,
+            },
+            comm_stats=self.comm_stats,
+            fault_ledger=(
+                self.fault_injector.ledger if self.fault_injector else None
+            ),
+            convergence=convergence,
+            wall_time_s=wall_time_s,
         )
 
     def _adapt_state_path(self) -> str:
@@ -205,8 +265,24 @@ class CampaignRunner:
                 for r in st.records
             ],
         }
-        _atomic_write_json(payload, self._adapt_state_path())
+        with obs.span("campaign.checkpoint", iteration=st.iteration):
+            if obs.enabled():
+                # snapshot telemetry alongside the state (ignored by the
+                # loader; purely for post-mortem inspection)
+                payload["report"] = obs.collect_report(
+                    meta={"kind": "adapt_checkpoint", "iteration": st.iteration},
+                    fault_ledger=(
+                        self.fault_injector.ledger if self.fault_injector else None
+                    ),
+                    convergence=convergence_traces(st.records),
+                ).to_dict()
+            _atomic_write_json(payload, self._adapt_state_path())
         self.checkpoints_written += 1
+        if obs.enabled():
+            obs.inc(
+                "repro_campaign_checkpoints_total",
+                help="Campaign checkpoints written",
+            )
 
     def _load_adapt_state(self, adapt: AdaptVQE) -> Optional[AdaptState]:
         path = self._adapt_state_path()
@@ -257,17 +333,25 @@ class CampaignRunner:
                 retry_policy=self.retry_policy,
                 clock=self.clock,
             )
-        dsv = DistributedStatevector(n, self.distributed_ranks, comm=self._crosscheck_comm)
-        vec = (
-            st.statevector
-            if st.statevector is not None
-            else adapt.prepare_statevector(st)
-        )
-        for k in range(dsv.num_ranks):
-            dsv.slices[k] = np.array(
-                vec[k * dsv.local_dim : (k + 1) * dsv.local_dim], dtype=np.complex128
+        with obs.span(
+            "campaign.crosscheck",
+            iteration=st.iteration,
+            ranks=self.distributed_ranks,
+        ):
+            dsv = DistributedStatevector(
+                n, self.distributed_ranks, comm=self._crosscheck_comm
             )
-        e_dist = dsv.expectation(adapt.hamiltonian)
+            vec = (
+                st.statevector
+                if st.statevector is not None
+                else adapt.prepare_statevector(st)
+            )
+            for k in range(dsv.num_ranks):
+                dsv.slices[k] = np.array(
+                    vec[k * dsv.local_dim : (k + 1) * dsv.local_dim],
+                    dtype=np.complex128,
+                )
+            e_dist = dsv.expectation(adapt.hamiltonian)
         if abs(e_dist - st.energy) > self.crosscheck_tolerance:
             raise CampaignFailedError(
                 f"distributed cross-check diverged: dense {st.energy:.12f} "
@@ -292,6 +376,7 @@ class CampaignRunner:
         checkpointed parameter vector — for deterministic optimizers
         this converges to the same minimum as the uninterrupted run.
         """
+        t_start = time.perf_counter()
         saved = self._load_vqe_params()
         resumed_from = saved["eval"] if saved is not None else None
         x0 = (
@@ -318,6 +403,11 @@ class CampaignRunner:
                     break
                 except RankFailure as err:
                     restarts += 1
+                    if obs.enabled():
+                        obs.inc(
+                            "repro_campaign_restarts_total",
+                            help="Campaign rollbacks after rank failures",
+                        )
                     if restarts > self.max_restarts:
                         raise CampaignFailedError(
                             f"gave up after {restarts} rank failures (last: {err})"
@@ -331,7 +421,7 @@ class CampaignRunner:
         finally:
             vqe.evaluation_callback = previous_callback
         self._save_vqe_params(result.optimal_parameters, result.energy, vqe.num_evaluations)
-        return CampaignResult(
+        campaign_result = CampaignResult(
             result=result,
             restarts=restarts,
             checkpoints_written=self.checkpoints_written,
@@ -342,6 +432,14 @@ class CampaignRunner:
             ),
             simulated_backoff_s=self.clock.now,
         )
+        if obs.enabled():
+            campaign_result.report = self._collect_report(
+                kind="vqe_campaign",
+                result=campaign_result,
+                convergence={"energy": list(result.history)},
+                wall_time_s=time.perf_counter() - t_start,
+            )
+        return campaign_result
 
     def _vqe_state_path(self) -> str:
         return os.path.join(self.checkpoint_dir, _VQE_STATE_FILE)
@@ -349,16 +447,22 @@ class CampaignRunner:
     def _save_vqe_params(
         self, params: np.ndarray, energy: float, eval_index: int
     ) -> None:
-        _atomic_write_json(
-            {
-                "version": _STATE_VERSION,
-                "parameters": [float(x) for x in np.atleast_1d(params)],
-                "energy": float(energy),
-                "eval": int(eval_index),
-            },
-            self._vqe_state_path(),
-        )
+        with obs.span("campaign.checkpoint", eval=eval_index):
+            _atomic_write_json(
+                {
+                    "version": _STATE_VERSION,
+                    "parameters": [float(x) for x in np.atleast_1d(params)],
+                    "energy": float(energy),
+                    "eval": int(eval_index),
+                },
+                self._vqe_state_path(),
+            )
         self.checkpoints_written += 1
+        if obs.enabled():
+            obs.inc(
+                "repro_campaign_checkpoints_total",
+                help="Campaign checkpoints written",
+            )
 
     def _load_vqe_params(self) -> Optional[dict]:
         path = self._vqe_state_path()

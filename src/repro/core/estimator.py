@@ -25,6 +25,7 @@ from repro.sim.expectation import (
     expectation_sampled,
 )
 from repro.sim.statevector import StatevectorSimulator
+from repro.utils.profiling import Timer
 
 __all__ = [
     "Estimator",
@@ -36,12 +37,21 @@ __all__ = [
 
 
 class Estimator(ABC):
-    """Turns a bound circuit + observable into an expectation value."""
+    """Turns a bound circuit + observable into an expectation value.
+
+    ``timer`` (optional) is handed to every internally created
+    :class:`StatevectorSimulator`, so driver-level profiles include
+    the simulator's ``run_circuit`` sections.
+    """
 
     name = "abstract"
 
-    def __init__(self) -> None:
+    def __init__(self, timer: Optional[Timer] = None) -> None:
         self.evaluations = 0
+        self.timer = timer
+
+    def _simulator(self, num_qubits: int) -> StatevectorSimulator:
+        return StatevectorSimulator(num_qubits, timer=self.timer)
 
     @abstractmethod
     def estimate(self, circuit: Circuit, observable: PauliSum) -> float:
@@ -56,7 +66,7 @@ class DirectEstimator(Estimator):
 
     def estimate(self, circuit: Circuit, observable: PauliSum) -> float:
         self.evaluations += 1
-        sim = StatevectorSimulator(circuit.num_qubits)
+        sim = self._simulator(circuit.num_qubits)
         state = sim.run(circuit)
         return expectation_direct(state, observable)
 
@@ -71,13 +81,13 @@ class CachingEstimator(Estimator):
 
     name = "caching"
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, timer: Optional[Timer] = None) -> None:
+        super().__init__(timer=timer)
         self.extra_gates = 0
 
     def estimate(self, circuit: Circuit, observable: PauliSum) -> float:
         self.evaluations += 1
-        sim = StatevectorSimulator(circuit.num_qubits)
+        sim = self._simulator(circuit.num_qubits)
         state = sim.run(circuit).copy()
         value, gates = expectation_basis_rotated(
             state, observable, return_gate_count=True
@@ -91,14 +101,19 @@ class SamplingEstimator(Estimator):
 
     name = "sampling"
 
-    def __init__(self, shots_per_group: int = 4096, seed: int = 7):
-        super().__init__()
+    def __init__(
+        self,
+        shots_per_group: int = 4096,
+        seed: int = 7,
+        timer: Optional[Timer] = None,
+    ):
+        super().__init__(timer=timer)
         self.shots_per_group = shots_per_group
         self.rng = np.random.default_rng(seed)
 
     def estimate(self, circuit: Circuit, observable: PauliSum) -> float:
         self.evaluations += 1
-        sim = StatevectorSimulator(circuit.num_qubits)
+        sim = self._simulator(circuit.num_qubits)
         state = sim.run(circuit).copy()
         return expectation_sampled(
             state, observable, self.shots_per_group, self.rng

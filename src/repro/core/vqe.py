@@ -16,24 +16,31 @@ Two execution modes, matching how the paper's stack is layered:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ir.circuit import Circuit
 from repro.ir.pauli import PauliSum
 from repro.core.estimator import DirectEstimator, Estimator
 from repro.opt.base import Optimizer, OptimizeResult
 from repro.opt.gradient import AnsatzObjective
 from repro.opt.scipy_wrap import LBFGSB
+from repro.utils.profiling import Timer
 
 __all__ = ["VQE", "VQEResult"]
 
 
 @dataclass
 class VQEResult:
-    """Converged VQE output."""
+    """Converged VQE output.
+
+    ``report`` is a :class:`repro.obs.RunReport` when observability was
+    enabled for the run, else ``None``.
+    """
 
     energy: float
     optimal_parameters: np.ndarray
@@ -42,6 +49,7 @@ class VQEResult:
     num_iterations: int
     converged: bool
     mode: str
+    report: Optional[object] = None
 
     def __repr__(self) -> str:
         return (
@@ -73,11 +81,13 @@ class VQE:
         reference_state: Optional[np.ndarray] = None,
         optimizer: Optional[Optimizer] = None,
         evaluation_callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
+        timer: Optional[Timer] = None,
     ):
         if not hamiltonian.is_hermitian():
             raise ValueError("hamiltonian must be Hermitian")
         self.hamiltonian = hamiltonian
         self.optimizer = optimizer or LBFGSB()
+        self.timer = timer
         # called as callback(eval_index, params, energy) after every
         # energy evaluation; the campaign layer uses it for periodic
         # parameter checkpoints and fault-injection hooks
@@ -96,7 +106,9 @@ class VQE:
             self.estimator = None
         elif ansatz is not None:
             self.ansatz = ansatz
-            self.estimator = estimator or DirectEstimator()
+            self.estimator = estimator or DirectEstimator(timer=timer)
+            if timer is not None and getattr(self.estimator, "timer", None) is None:
+                self.estimator.timer = timer
             self.objective = None
             self.mode = "circuit"
             self.num_parameters = ansatz.num_parameters
@@ -106,15 +118,28 @@ class VQE:
     def energy(self, params: np.ndarray) -> float:
         """One energy evaluation at the given parameters."""
         params = np.atleast_1d(np.asarray(params, dtype=float))
-        if self.mode == "chemistry":
-            e = self.objective.energy(params)
-        else:
-            bound = self.ansatz.bind(list(params))
-            e = self.estimator.estimate(bound, self.hamiltonian)
+        with obs.span("vqe.energy_eval", mode=self.mode):
+            if self.timer is not None:
+                with self.timer.section("vqe_energy"):
+                    e = self._energy_impl(params)
+            else:
+                e = self._energy_impl(params)
         self.num_evaluations += 1
+        if obs.enabled():
+            obs.inc(
+                "repro_vqe_energy_evaluations_total",
+                help="VQE objective evaluations",
+                labels={"mode": self.mode},
+            )
         if self.evaluation_callback is not None:
             self.evaluation_callback(self.num_evaluations, params, e)
         return e
+
+    def _energy_impl(self, params: np.ndarray) -> float:
+        if self.mode == "chemistry":
+            return self.objective.energy(params)
+        bound = self.ansatz.bind(list(params))
+        return self.estimator.estimate(bound, self.hamiltonian)
 
     def gradient(self, params: np.ndarray) -> Optional[np.ndarray]:
         """Analytic gradient (chemistry mode only)."""
@@ -133,6 +158,27 @@ class VQE:
             raise ValueError(
                 f"expected {self.num_parameters} initial parameters, got {x0.shape}"
             )
+        t_start = time.perf_counter()
+        with obs.span(
+            "vqe.run", mode=self.mode, parameters=self.num_parameters
+        ):
+            result = self._run_impl(x0)
+        if obs.enabled():
+            result.report = obs.collect_report(
+                meta={
+                    "kind": "vqe",
+                    "mode": self.mode,
+                    "num_parameters": self.num_parameters,
+                    "num_qubits": self.hamiltonian.num_qubits,
+                    "energy": result.energy,
+                    "converged": result.converged,
+                },
+                convergence={"energy": list(result.history)},
+                wall_time_s=time.perf_counter() - t_start,
+            )
+        return result
+
+    def _run_impl(self, x0: np.ndarray) -> VQEResult:
         if self.num_parameters == 0:
             e = self.energy(np.zeros(0))
             return VQEResult(

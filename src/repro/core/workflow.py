@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.chem.downfolding import DownfoldingResult, hermitian_downfold
 from repro.chem.fci import exact_ground_energy
 from repro.chem.hamiltonian import MolecularHamiltonian, build_molecular_hamiltonian
@@ -25,6 +26,7 @@ from repro.chem.uccsd import uccsd_generators
 from repro.core.vqe import VQE, VQEResult
 from repro.ir.pauli import PauliSum
 from repro.opt.base import Optimizer
+from repro.utils.profiling import Timer
 
 __all__ = ["WorkflowResult", "run_vqe_workflow"]
 
@@ -63,16 +65,21 @@ def run_vqe_workflow(
     optimizer: Optional[Optimizer] = None,
     compute_exact: bool = True,
     basis_name: str = "sto-3g",
+    timer: Optional[Timer] = None,
 ) -> WorkflowResult:
     """Run the complete Fig. 2 pipeline on one molecule.
 
     With no active-space arguments the full orbital space is used and
     downfolding reduces to a no-op; with ``core_orbitals`` /
     ``active_orbitals`` the Hamiltonian is downfolded (Hermitian,
-    commutator order ``downfolding_order``) before VQE.
+    commutator order ``downfolding_order``) before VQE.  ``timer``
+    (optional) collects per-stage wall time and is forwarded to the
+    VQE driver.
     """
-    scf = run_rhf(molecule, basis_name)
-    hamiltonian = build_molecular_hamiltonian(scf)
+    with obs.span("workflow.scf", atoms=len(molecule.atoms)):
+        scf = run_rhf(molecule, basis_name)
+    with obs.span("workflow.hamiltonian"):
+        hamiltonian = build_molecular_hamiltonian(scf)
 
     n_spatial = hamiltonian.num_orbitals
     if active_orbitals is None:
@@ -81,24 +88,25 @@ def run_vqe_workflow(
     core_orbitals = list(core_orbitals or [])
 
     downfolding: Optional[DownfoldingResult] = None
-    if downfold and core_orbitals:
-        downfolding = hermitian_downfold(
-            hamiltonian,
-            scf.mo_energies,
-            core_orbitals,
-            active_orbitals,
-            order=downfolding_order,
-        )
-        qubit_h = downfolding.effective_hamiltonian
-        n_electrons = downfolding.num_electrons
-    else:
-        reduced = (
-            hamiltonian.active_space(core_orbitals, active_orbitals)
-            if (core_orbitals or len(active_orbitals) < n_spatial)
-            else hamiltonian
-        )
-        qubit_h = reduced.to_qubit("jordan-wigner")
-        n_electrons = reduced.num_electrons
+    with obs.span("workflow.qubit_mapping", downfold=bool(downfold and core_orbitals)):
+        if downfold and core_orbitals:
+            downfolding = hermitian_downfold(
+                hamiltonian,
+                scf.mo_energies,
+                core_orbitals,
+                active_orbitals,
+                order=downfolding_order,
+            )
+            qubit_h = downfolding.effective_hamiltonian
+            n_electrons = downfolding.num_electrons
+        else:
+            reduced = (
+                hamiltonian.active_space(core_orbitals, active_orbitals)
+                if (core_orbitals or len(active_orbitals) < n_spatial)
+                else hamiltonian
+            )
+            qubit_h = reduced.to_qubit("jordan-wigner")
+            n_electrons = reduced.num_electrons
 
     num_qubits = qubit_h.num_qubits
     gens = [a for _, a in uccsd_generators(num_qubits, n_electrons)]
@@ -109,14 +117,21 @@ def run_vqe_workflow(
         generators=gens,
         reference_state=reference,
         optimizer=optimizer,
+        timer=timer,
     )
-    result = vqe.run()
+    with obs.span("workflow.vqe", qubits=num_qubits):
+        if timer is not None:
+            with timer.section("workflow_vqe"):
+                result = vqe.run()
+        else:
+            result = vqe.run()
 
-    exact = (
-        exact_ground_energy(qubit_h, num_particles=n_electrons, sz=0)
-        if compute_exact
-        else None
-    )
+    with obs.span("workflow.exact_diagonalization", enabled=compute_exact):
+        exact = (
+            exact_ground_energy(qubit_h, num_particles=n_electrons, sz=0)
+            if compute_exact
+            else None
+        )
     return WorkflowResult(
         molecule=molecule,
         scf=scf,

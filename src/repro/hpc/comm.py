@@ -29,6 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.hpc.faults import FaultInjector, TransientCommError
 from repro.hpc.perfmodel import SimulatedClock
 from repro.utils.retry import RetryPolicy
@@ -139,7 +140,27 @@ class SimComm:
         """
         if len(buffers) != self.num_ranks or len(partners) != self.num_ranks:
             raise ValueError("one buffer and partner per rank required")
-        return self._with_retry(lambda: self._exchange_attempt(buffers, partners))
+        if not obs.enabled():
+            return self._with_retry(lambda: self._exchange_attempt(buffers, partners))
+        bytes_before = self.stats.point_to_point_bytes
+        retries_before = self.stats.retries
+        with obs.span("comm.exchange", ranks=self.num_ranks) as sp:
+            out = self._with_retry(lambda: self._exchange_attempt(buffers, partners))
+        moved = self.stats.point_to_point_bytes - bytes_before
+        sp.set_attribute("bytes", moved)
+        sp.set_attribute("sim_time_s", self.clock.now)
+        obs.inc(
+            "repro_comm_exchange_calls_total", help="Pairwise slice exchanges"
+        )
+        obs.inc(
+            "repro_comm_p2p_bytes_total",
+            moved,
+            help="Point-to-point bytes moved (retransmissions included)",
+        )
+        retried = self.stats.retries - retries_before
+        if retried:
+            obs.inc("repro_comm_retries_total", retried, help="Comm-op retries")
+        return out
 
     def _exchange_attempt(
         self, buffers: Sequence[Optional[np.ndarray]], partners: Sequence[int]
@@ -180,7 +201,13 @@ class SimComm:
         """Sum a per-rank scalar across ranks (tree allreduce model)."""
         if len(values) != self.num_ranks:
             raise ValueError("one value per rank required")
-        return self._with_retry(lambda: self._allreduce_attempt(values))
+        if not obs.enabled():
+            return self._with_retry(lambda: self._allreduce_attempt(values))
+        bytes_before = self.stats.allreduce_bytes
+        with obs.span("comm.allreduce", ranks=self.num_ranks) as sp:
+            out = self._with_retry(lambda: self._allreduce_attempt(values))
+        self._record_allreduce_metrics(sp, bytes_before)
+        return out
 
     def _allreduce_attempt(self, values: Sequence[complex]) -> complex:
         if self.fault_injector is not None:
@@ -198,7 +225,13 @@ class SimComm:
         """Elementwise-sum arrays across ranks."""
         if len(arrays) != self.num_ranks:
             raise ValueError("one array per rank required")
-        return self._with_retry(lambda: self._allreduce_array_attempt(arrays))
+        if not obs.enabled():
+            return self._with_retry(lambda: self._allreduce_array_attempt(arrays))
+        bytes_before = self.stats.allreduce_bytes
+        with obs.span("comm.allreduce_array", ranks=self.num_ranks) as sp:
+            out = self._with_retry(lambda: self._allreduce_array_attempt(arrays))
+        self._record_allreduce_metrics(sp, bytes_before)
+        return out
 
     def _allreduce_array_attempt(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
         if self.fault_injector is not None:
@@ -211,11 +244,21 @@ class SimComm:
         self.stats.allreduce_bytes += out.nbytes * 2 * rounds
         return out
 
+    def _record_allreduce_metrics(self, sp, bytes_before: int) -> None:
+        moved = self.stats.allreduce_bytes - bytes_before
+        sp.set_attribute("bytes", moved)
+        sp.set_attribute("sim_time_s", self.clock.now)
+        obs.inc("repro_comm_allreduce_calls_total", help="Allreduce collectives")
+        obs.inc(
+            "repro_comm_allreduce_bytes_total", moved, help="Allreduce bytes moved"
+        )
+
     def gather(self, slices: Sequence[np.ndarray]) -> np.ndarray:
         """Concatenate per-rank slices on a (virtual) root."""
         if len(slices) != self.num_ranks:
             raise ValueError("one slice per rank required")
-        out = np.concatenate(list(slices))
+        with obs.span("comm.gather", ranks=self.num_ranks):
+            out = np.concatenate(list(slices))
         self.stats.gather_calls += 1
         self.stats.gather_bytes += sum(s.nbytes for s in slices[1:])
         return out

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.hpc.comm import SimComm
 from repro.hpc.faults import FaultInjector
 from repro.utils.retry import RetryPolicy
@@ -197,8 +198,27 @@ class DistributedStatevector:
             raise ValueError("bind circuit parameters before execution")
         if reset:
             self.reset()
-        for g in circuit.gates:
-            self.apply_gate(g)
+        exchanges_before = self.exchanges
+        with obs.span(
+            "dsv.run_circuit",
+            gates=len(circuit.gates),
+            qubits=self.num_qubits,
+            ranks=self.num_ranks,
+        ) as sp:
+            for g in circuit.gates:
+                self.apply_gate(g)
+        if obs.enabled():
+            sp.set_attribute("exchanges", self.exchanges - exchanges_before)
+            obs.inc(
+                "repro_dsv_gates_total",
+                len(circuit.gates),
+                help="Gates applied by the distributed simulator",
+            )
+            obs.inc(
+                "repro_dsv_exchanges_total",
+                self.exchanges - exchanges_before,
+                help="Slice exchanges performed by the distributed simulator",
+            )
 
     # -- observation -----------------------------------------------------------------------
 
@@ -218,6 +238,22 @@ class DistributedStatevector:
         """
         if observable.num_qubits != self.num_qubits:
             raise ValueError("observable width mismatch")
+        exchanges_before = self.exchanges
+        with obs.span(
+            "dsv.expectation",
+            terms=observable.num_terms,
+            ranks=self.num_ranks,
+        ) as sp:
+            value = self._expectation_impl(observable)
+        if obs.enabled():
+            sp.set_attribute("exchanges", self.exchanges - exchanges_before)
+            obs.inc(
+                "repro_dsv_expectations_total",
+                help="Distributed direct expectation evaluations",
+            )
+        return value
+
+    def _expectation_impl(self, observable: PauliSum) -> float:
         L = self.local_qubits
         local_mask = (1 << L) - 1
 

@@ -17,6 +17,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.hpc.cluster import Machine, get_machine
 from repro.hpc.faults import FaultInjector
 from repro.hpc.scheduler import BatchScheduler, Job, Schedule
@@ -75,12 +76,23 @@ class EnsembleExecutor:
         jobs = [
             Job.from_circuit(f"eval_{k}", c) for k, c in enumerate(circuits)
         ]
-        schedule = self._schedule_with_faults(jobs)
-        values = np.empty(len(circuits))
-        for k, circuit in enumerate(circuits):
-            sim = StatevectorSimulator(circuit.num_qubits)
-            state = sim.run(circuit)
-            values[k] = expectation_direct(state, observable)
+        with obs.span(
+            "ensemble.evaluate", circuits=len(circuits), devices=self.num_devices
+        ) as sp:
+            schedule = self._schedule_with_faults(jobs)
+            values = np.empty(len(circuits))
+            for k, circuit in enumerate(circuits):
+                sim = StatevectorSimulator(circuit.num_qubits)
+                state = sim.run(circuit)
+                values[k] = expectation_direct(state, observable)
+        if obs.enabled():
+            sp.set_attribute("makespan_s", schedule.makespan)
+            sp.set_attribute("speedup", schedule.speedup)
+            obs.inc(
+                "repro_ensemble_evaluations_total",
+                len(circuits),
+                help="Expectation evaluations dispatched over the ensemble",
+            )
         return EnsembleResult(values=values, schedule=schedule)
 
     def _schedule_with_faults(self, jobs: Sequence[Job]) -> Schedule:

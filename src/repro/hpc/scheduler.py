@@ -15,6 +15,7 @@ import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.hpc.cluster import Machine, get_machine
 from repro.hpc.perfmodel import estimate_circuit_time
 from repro.ir.circuit import Circuit
@@ -101,12 +102,22 @@ class BatchScheduler:
             raise ValueError("no surviving ranks to schedule on")
         if any(k < 0 or k >= self.num_ranks for k in ranks):
             raise ValueError("available_ranks outside the rank pool")
-        costs = [(self.job_cost(j), j) for j in jobs]
-        serial = sum(c for c, _ in costs)
-        assignments: Dict[int, List[Job]] = {k: [] for k in ranks}
-        rank_times: Dict[int, float] = {k: 0.0 for k in ranks}
-        self._lpt_fill(costs, assignments, rank_times)
+        with obs.span(
+            "sched.schedule", jobs=len(jobs), ranks=len(ranks)
+        ) as sp:
+            costs = [(self.job_cost(j), j) for j in jobs]
+            serial = sum(c for c, _ in costs)
+            assignments: Dict[int, List[Job]] = {k: [] for k in ranks}
+            rank_times: Dict[int, float] = {k: 0.0 for k in ranks}
+            self._lpt_fill(costs, assignments, rank_times)
         makespan = max(rank_times.values()) if rank_times else 0.0
+        sp.set_attribute("makespan_s", makespan)
+        if obs.enabled():
+            obs.inc(
+                "repro_sched_jobs_placed_total",
+                len(jobs),
+                help="Jobs placed by the LPT batch scheduler",
+            )
         failed = [
             k for k in range(self.num_ranks) if k not in set(ranks)
         ]
@@ -165,9 +176,20 @@ class BatchScheduler:
         }
         if not assignments:
             raise ValueError("no surviving ranks to reschedule on")
-        self._lpt_fill(
-            [(self.job_cost(j), j) for j in orphans], assignments, rank_times
-        )
+        with obs.span(
+            "sched.reschedule_after_failure",
+            dead_rank=dead_rank,
+            orphans=len(orphans),
+        ):
+            self._lpt_fill(
+                [(self.job_cost(j), j) for j in orphans], assignments, rank_times
+            )
+        if obs.enabled():
+            obs.inc(
+                "repro_sched_jobs_rescheduled_total",
+                len(orphans),
+                help="Orphaned jobs re-placed after a rank failure",
+            )
         makespan = max(rank_times.values()) if rank_times else 0.0
         # work finished on the dead rank before it died still bounds the
         # makespan from below

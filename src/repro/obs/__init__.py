@@ -1,0 +1,163 @@
+"""repro.obs — the unified observability layer.
+
+Zero-dependency tracing + metrics + run reports for the whole stack:
+
+* :mod:`repro.obs.trace` — hierarchical span tracer with Chrome
+  trace-event export (view in Perfetto),
+* :mod:`repro.obs.metrics` — process-wide counters / gauges /
+  histograms with Prometheus text exposition and JSONL snapshots,
+* :mod:`repro.obs.report` — the serializable :class:`RunReport`
+  aggregating spans, metrics, and the domain ledgers.
+
+The module-level helpers below are the *instrumentation API* the hot
+paths use.  They route to one process-global tracer/registry behind a
+single ``_ENABLED`` flag, and when observability is off (the default)
+every helper is a constant-time no-op — the disabled overhead budget
+is enforced by ``benchmarks/bench_obs_overhead.py``.
+
+Typical use::
+
+    from repro import obs
+
+    obs.enable()                       # or: repro vqe h2 --profile
+    with obs.span("sim.run_circuit", gates=128):
+        ...
+    obs.inc("repro_sim_circuits_total")
+    print(obs.get_registry().expose())
+    obs.get_tracer().write_chrome_trace("trace.json")
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.report import RunReport, as_plain_dict
+from repro.obs.trace import NULL_SPAN, SpanRecord, Tracer
+
+__all__ = [
+    "Tracer",
+    "SpanRecord",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "RunReport",
+    "as_plain_dict",
+    "configure",
+    "enable",
+    "disable",
+    "enabled",
+    "get_tracer",
+    "get_registry",
+    "span",
+    "inc",
+    "observe",
+    "gauge_set",
+]
+
+_ENABLED = False
+_TRACER = Tracer(enabled=False)
+_REGISTRY = MetricsRegistry()
+
+
+def configure(
+    enabled: bool = True,
+    tracer: Optional[Tracer] = None,
+    registry: Optional[MetricsRegistry] = None,
+    clock: Optional[object] = None,
+) -> None:
+    """(Re)configure the global observability state.
+
+    ``clock`` attaches a simulated clock to the tracer so spans carry
+    simulated time next to wall-clock.
+    """
+    global _ENABLED, _TRACER, _REGISTRY
+    if tracer is not None:
+        _TRACER = tracer
+    if registry is not None:
+        _REGISTRY = registry
+    if clock is not None:
+        _TRACER.clock = clock
+    _ENABLED = bool(enabled)
+    _TRACER.enabled = _ENABLED
+
+
+def enable() -> None:
+    configure(enabled=True)
+
+
+def disable() -> None:
+    configure(enabled=False)
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def get_tracer() -> Tracer:
+    return _TRACER
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def set_clock(clock: Optional[object]) -> None:
+    """Attach (or detach, with None) a simulated clock to the tracer."""
+    _TRACER.clock = clock
+
+
+# -- hot-path helpers (constant-time no-ops when disabled) -------------------
+
+
+def span(name: str, category: str = "repro", **attributes: Any):
+    """Open a span on the global tracer (no-op span when disabled)."""
+    if not _ENABLED:
+        return NULL_SPAN
+    return _TRACER.span(name, category, **attributes)
+
+
+def inc(name: str, amount: float = 1.0, help: str = "", labels: Optional[Dict[str, str]] = None) -> None:
+    """Increment a global counter (no-op when disabled)."""
+    if not _ENABLED:
+        return
+    _REGISTRY.counter(name, help=help, labels=labels).inc(amount)
+
+
+def observe(
+    name: str,
+    value: float,
+    help: str = "",
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+    labels: Optional[Dict[str, str]] = None,
+) -> None:
+    """Record a histogram observation (no-op when disabled)."""
+    if not _ENABLED:
+        return
+    _REGISTRY.histogram(name, help=help, buckets=buckets, labels=labels).observe(value)
+
+
+def gauge_set(name: str, value: float, help: str = "", labels: Optional[Dict[str, str]] = None) -> None:
+    """Set a global gauge (no-op when disabled)."""
+    if not _ENABLED:
+        return
+    _REGISTRY.gauge(name, help=help, labels=labels).set(value)
+
+
+def collect_report(**kwargs: Any) -> RunReport:
+    """Build a :class:`RunReport` from the global tracer/registry."""
+    return RunReport.collect(tracer=_TRACER, registry=_REGISTRY, **kwargs)
+
+
+def reset() -> None:
+    """Clear recorded spans and metrics (keeps the enabled flag)."""
+    _TRACER.reset()
+    _REGISTRY.reset()

@@ -1,0 +1,232 @@
+"""Exportable run reports: one serializable summary per run.
+
+A :class:`RunReport` rolls everything the stack observed into a single
+JSON-able object:
+
+* per-span aggregates from the tracer (name, count, total seconds),
+* the metrics registry snapshot,
+* the pre-existing domain ledgers — ``CommStats`` byte counters,
+  ``RetryStats``, the ``FaultLedger``, the cache ``GateLedger`` and
+  ``PostAnsatzCache`` accounting — normalized into plain dicts,
+* convergence traces (per-iteration energy, gradient norm, error),
+* free-form ``meta`` (command line, molecule, qubit count, ...).
+
+The report is attached to driver results (``VQEResult.report``,
+``AdaptResult.report``, ``CampaignResult.report``), embedded in
+campaign checkpoints, and written/pretty-printed by the CLI
+(``--report-out`` / ``repro report``).
+
+This module imports nothing from the rest of ``repro`` — ledgers are
+converted by duck typing, so the observability layer stays a leaf
+dependency every other layer may import.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RunReport", "as_plain_dict"]
+
+REPORT_VERSION = 1
+
+
+def as_plain_dict(obj: Any) -> Dict[str, Any]:
+    """Best-effort conversion of a stats/ledger object to a JSON-able
+    dict: dataclasses via ``asdict``, ``FaultLedger``-likes via their
+    ``by_kind``/``count``, mappings verbatim, else public scalar attrs."""
+    if obj is None:
+        return {}
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if hasattr(obj, "by_kind") and hasattr(obj, "count"):  # FaultLedger
+        return {
+            "events": int(obj.count()),
+            "by_kind": dict(obj.by_kind()),
+            "summary": obj.summary() if hasattr(obj, "summary") else "",
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {k: _jsonable(v) for k, v in dataclasses.asdict(obj).items()}
+    out: Dict[str, Any] = {}
+    for name in dir(obj):
+        if name.startswith("_"):
+            continue
+        value = getattr(obj, name)
+        if isinstance(value, (int, float, str, bool)):
+            out[name] = value
+    return out
+
+
+def _jsonable(v: Any) -> Any:
+    if isinstance(v, (int, float, str, bool)) or v is None:
+        return v
+    if isinstance(v, dict):
+        return {str(k): _jsonable(x) for k, x in v.items()}
+    if isinstance(v, (list, tuple)):
+        return [_jsonable(x) for x in v]
+    return str(v)
+
+
+@dataclass
+class RunReport:
+    """Aggregated observability summary of one run."""
+
+    meta: Dict[str, Any] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+    comm: Dict[str, Any] = field(default_factory=dict)
+    cache: Dict[str, Any] = field(default_factory=dict)
+    faults: Dict[str, Any] = field(default_factory=dict)
+    convergence: Dict[str, List[float]] = field(default_factory=dict)
+    wall_time_s: Optional[float] = None
+    created_unix: float = 0.0
+    version: int = REPORT_VERSION
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def collect(
+        cls,
+        meta: Optional[Dict[str, Any]] = None,
+        tracer: Optional[object] = None,
+        registry: Optional[object] = None,
+        comm_stats: Optional[object] = None,
+        cache_stats: Optional[object] = None,
+        fault_ledger: Optional[object] = None,
+        convergence: Optional[Dict[str, List[float]]] = None,
+        wall_time_s: Optional[float] = None,
+    ) -> "RunReport":
+        """Build a report from live objects.  ``tracer``/``registry``
+        default to the process-global ones (``repro.obs``)."""
+        if tracer is None or registry is None:
+            from repro import obs  # local import: obs/__init__ imports us
+
+            tracer = tracer if tracer is not None else obs.get_tracer()
+            registry = registry if registry is not None else obs.get_registry()
+        spans = [
+            {
+                "name": name,
+                "count": count,
+                "total_s": total,
+                "mean_s": total / count if count else 0.0,
+            }
+            for name, (total, count) in sorted(
+                tracer.totals().items(), key=lambda kv: -kv[1][0]
+            )
+        ]
+        return cls(
+            meta=dict(meta or {}),
+            spans=spans,
+            metrics=registry.snapshot(),
+            comm=as_plain_dict(comm_stats),
+            cache=as_plain_dict(cache_stats),
+            faults=as_plain_dict(fault_ledger),
+            convergence={
+                k: [float(x) for x in v] for k, v in (convergence or {}).items()
+            },
+            wall_time_s=wall_time_s,
+            created_unix=time.time(),
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "created_unix": self.created_unix,
+            "meta": _jsonable(self.meta),
+            "wall_time_s": self.wall_time_s,
+            "spans": _jsonable(self.spans),
+            "metrics": _jsonable(self.metrics),
+            "comm": _jsonable(self.comm),
+            "cache": _jsonable(self.cache),
+            "faults": _jsonable(self.faults),
+            "convergence": _jsonable(self.convergence),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    def save(self, path: str) -> None:
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            fh.write(self.to_json())
+        os.replace(tmp, path)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "RunReport":
+        version = payload.get("version")
+        if version != REPORT_VERSION:
+            raise ValueError(f"unsupported run-report version: {version!r}")
+        return cls(
+            meta=dict(payload.get("meta", {})),
+            spans=list(payload.get("spans", [])),
+            metrics=list(payload.get("metrics", [])),
+            comm=dict(payload.get("comm", {})),
+            cache=dict(payload.get("cache", {})),
+            faults=dict(payload.get("faults", {})),
+            convergence={
+                k: list(v) for k, v in payload.get("convergence", {}).items()
+            },
+            wall_time_s=payload.get("wall_time_s"),
+            created_unix=float(payload.get("created_unix", 0.0)),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "RunReport":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+    # -- presentation -------------------------------------------------------
+
+    def summary(self) -> str:
+        """Human-readable multi-section report."""
+        lines: List[str] = []
+        title = self.meta.get("command", "run report")
+        lines.append(f"=== {title} ===")
+        for k, v in sorted(self.meta.items()):
+            if k != "command":
+                lines.append(f"  {k:22s} {v}")
+        if self.wall_time_s is not None:
+            lines.append(f"  {'wall_time_s':22s} {self.wall_time_s:.3f}")
+        if self.spans:
+            lines.append("-- spans (slowest first) --")
+            for s in self.spans:
+                lines.append(
+                    f"  {s['name']:30s} {s['total_s']:10.4f}s  x{s['count']}"
+                )
+        if self.convergence:
+            lines.append("-- convergence --")
+            for name, values in sorted(self.convergence.items()):
+                if not values:
+                    continue
+                lines.append(
+                    f"  {name:22s} n={len(values)}  first={values[0]:+.6g}  "
+                    f"last={values[-1]:+.6g}"
+                )
+        for section, data in (
+            ("comm", self.comm),
+            ("cache", self.cache),
+            ("faults", self.faults),
+        ):
+            lines.append(f"-- {section} --")
+            if not data:
+                lines.append("  (none recorded)")
+                continue
+            for k, v in sorted(data.items()):
+                if isinstance(v, dict):
+                    v = ", ".join(f"{a}={b}" for a, b in sorted(v.items()))
+                lines.append(f"  {k:22s} {v}")
+        counters = [m for m in self.metrics if m.get("type") == "counter"]
+        if counters:
+            lines.append("-- counters --")
+            for m in counters:
+                label = "".join(
+                    f"{{{a}={b}}}" for a, b in sorted(m.get("labels", {}).items())
+                )
+                lines.append(f"  {m['name'] + label:38s} {m['value']:g}")
+        return "\n".join(lines)

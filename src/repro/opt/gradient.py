@@ -26,6 +26,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ir.pauli import PauliSum
 from repro.sim.evolution import GeneratorEvolution
 
@@ -83,14 +84,18 @@ class AnsatzObjective:
 
     def energy(self, params: np.ndarray) -> float:
         self.energy_evaluations += 1
-        state = self.prepare_state(np.asarray(params, dtype=float))
-        val = self.hamiltonian.expectation(state)
+        with obs.span("opt.objective_energy", parameters=self.num_parameters):
+            state = self.prepare_state(np.asarray(params, dtype=float))
+            val = self.hamiltonian.expectation(state)
         return float(val.real)
 
     def gradient(self, params: np.ndarray) -> np.ndarray:
         """Adjoint-mode gradient: O(1) extra evolutions, exact."""
         self.gradient_evaluations += 1
-        params = np.asarray(params, dtype=float)
+        with obs.span("opt.objective_gradient", parameters=self.num_parameters):
+            return self._gradient_impl(np.asarray(params, dtype=float))
+
+    def _gradient_impl(self, params: np.ndarray) -> np.ndarray:
         psi = self.prepare_state(params)
         lam = self.hamiltonian.apply(psi)
         phi = psi

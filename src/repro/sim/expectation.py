@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.ir.circuit import Circuit
 from repro.ir.pauli import PauliString, PauliSum
 from repro.sim.statevector import StatevectorSimulator
@@ -80,7 +81,14 @@ def expectation_direct(state: np.ndarray, hamiltonian: PauliSum) -> float:
     Raises if the expectation has a non-negligible imaginary part
     (i.e. H was not Hermitian).
     """
-    val = hamiltonian.expectation(state)
+    with obs.span("sim.expectation_direct", terms=hamiltonian.num_terms):
+        val = hamiltonian.expectation(state)
+    if obs.enabled():
+        obs.inc(
+            "repro_expectation_evaluations_total",
+            help="Expectation evaluations by method",
+            labels={"method": "direct"},
+        )
     if abs(val.imag) > 1e-8 * max(1.0, abs(val.real)):
         raise ValueError(f"non-Hermitian observable: <H> = {val}")
     return float(val.real)
@@ -103,6 +111,27 @@ def expectation_basis_rotated(
     sim = StatevectorSimulator(n)
     total = 0.0
     extra_gates = 0
+    rotation_span = obs.span("sim.expectation_basis_rotated", qubits=n)
+    if obs.enabled():
+        obs.inc(
+            "repro_expectation_evaluations_total",
+            help="Expectation evaluations by method",
+            labels={"method": "basis_rotated"},
+        )
+    with rotation_span:
+        total, extra_gates = _basis_rotated_sum(sim, state, hamiltonian)
+    rotation_span.set_attribute("extra_gates", extra_gates)
+    if return_gate_count:
+        return total, extra_gates
+    return total
+
+
+def _basis_rotated_sum(
+    sim: StatevectorSimulator, state: np.ndarray, hamiltonian: PauliSum
+) -> Tuple[float, int]:
+    total = 0.0
+    extra_gates = 0
+    n = hamiltonian.num_qubits
     for group in hamiltonian.group_qubitwise_commuting():
         strings = [p for _, p in group]
         circ = basis_change_circuit(strings, n)
@@ -120,9 +149,7 @@ def expectation_basis_rotated(
                 continue
             z_mask = pstr.x | pstr.z  # support becomes Z-type after rotation
             total += coeff.real * diagonal_expectation(probs, z_mask)
-    if return_gate_count:
-        return total, extra_gates
-    return total
+    return total, extra_gates
 
 
 def expectation_sampled(
@@ -136,20 +163,30 @@ def expectation_sampled(
     n = hamiltonian.num_qubits
     sim = StatevectorSimulator(n)
     total = 0.0
-    for group in hamiltonian.group_qubitwise_commuting():
-        strings = [p for _, p in group]
-        if all(p.is_identity for p in strings):
-            total += sum(c.real for c, _ in group)
-            continue
-        circ = basis_change_circuit(strings, n)
-        sim.set_state(state, copy=True)
-        sim.apply_circuit(circ)
-        samples = sim.sample(shots_per_group, rng)
-        for coeff, pstr in group:
-            if pstr.is_identity:
-                total += coeff.real
+    sampling_span = obs.span(
+        "sim.expectation_sampled", qubits=n, shots_per_group=shots_per_group
+    )
+    if obs.enabled():
+        obs.inc(
+            "repro_expectation_evaluations_total",
+            help="Expectation evaluations by method",
+            labels={"method": "sampled"},
+        )
+    with sampling_span:
+        for group in hamiltonian.group_qubitwise_commuting():
+            strings = [p for _, p in group]
+            if all(p.is_identity for p in strings):
+                total += sum(c.real for c, _ in group)
                 continue
-            z_mask = pstr.x | pstr.z
-            signs = 1.0 - 2.0 * (count_set_bits(samples & z_mask) & 1)
-            total += coeff.real * float(np.mean(signs))
+            circ = basis_change_circuit(strings, n)
+            sim.set_state(state, copy=True)
+            sim.apply_circuit(circ)
+            samples = sim.sample(shots_per_group, rng)
+            for coeff, pstr in group:
+                if pstr.is_identity:
+                    total += coeff.real
+                    continue
+                z_mask = pstr.x | pstr.z
+                signs = 1.0 - 2.0 * (count_set_bits(samples & z_mask) & 1)
+                total += coeff.real * float(np.mean(signs))
     return total

@@ -23,6 +23,7 @@ from typing import Dict, Iterable, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ir.circuit import Circuit
 from repro.ir.gates import Gate
 from repro.sim import kernels
@@ -166,13 +167,25 @@ class StatevectorSimulator:
             raise ValueError("bind circuit parameters before execution")
         if reset:
             self.reset()
-        if self.timer is not None:
-            with self.timer.section("run_circuit"):
+        with obs.span(
+            "sim.run_circuit", gates=len(circuit.gates), qubits=self.num_qubits
+        ):
+            if self.timer is not None:
+                with self.timer.section("run_circuit"):
+                    for g in circuit.gates:
+                        self.apply_gate(g)
+            else:
                 for g in circuit.gates:
                     self.apply_gate(g)
-        else:
-            for g in circuit.gates:
-                self.apply_gate(g)
+        if obs.enabled():
+            obs.inc(
+                "repro_sim_circuits_total", help="Circuit executions on the dense simulator"
+            )
+            obs.inc(
+                "repro_sim_gates_total",
+                len(circuit.gates),
+                help="Gates applied by the dense simulator",
+            )
         return self.state
 
     def apply_circuit(self, circuit: Circuit) -> np.ndarray:

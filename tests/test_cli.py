@@ -1,8 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
+from repro import obs
 from repro.cli import build_parser, main
+from repro.obs.report import RunReport
 
 
 class TestCLI:
@@ -52,3 +56,126 @@ class TestCLI:
         rc = main(["vqe", "h2", "--no-downfold", "--tol", "1e-12"])
         # the optimizer converges below 1e-6 but not to 1e-12
         assert rc in (0, 1)  # deterministic result; just exercise the path
+
+
+class TestCLIJson:
+    def test_vqe_json(self, capsys):
+        rc = main(["vqe", "h2", "--no-downfold", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["command"] == "vqe"
+        assert payload["vqe_energy"] == pytest.approx(-1.137270, abs=1e-5)
+        assert payload["passed"] is True
+
+    def test_counts_json(self, capsys):
+        rc = main(["counts", "--min-qubits", "12", "--max-qubits", "16", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["qubits"] for r in payload["rows"]] == [12, 14, 16]
+        assert payload["rows"][0]["pauli_terms"] == 1819
+
+    def test_adapt_json(self, capsys):
+        rc = main(["adapt", "h2", "--max-iterations", "4", "--json"])
+        out = capsys.readouterr().out
+        payload = json.loads(out)
+        assert payload["command"] == "adapt"
+        assert payload["iterations"]  # grew at least one operator
+        assert (rc == 0) == payload["passed"]
+
+    def test_faults_json(self, capsys):
+        rc = main(["faults", "h2", "--crash-iteration", "1", "--seed", "7", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["distributed"]["state_identical"] is True
+        assert payload["campaign"]["restarts"] >= 1
+        assert payload["passed"] is True
+
+
+class TestCLIObservability:
+    @pytest.fixture(autouse=True)
+    def _clean_global_obs(self):
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    def test_vqe_profile_artifacts(self, capsys, tmp_path):
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.prom"
+        report = tmp_path / "r.json"
+        rc = main(
+            [
+                "vqe", "h2", "--no-downfold",
+                "--profile",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+                "--report-out", str(report),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "-1.137270" in out  # plain output unchanged
+        assert "-- spans (slowest first) --" in out  # --profile summary
+        # Chrome trace-event file
+        payload = json.loads(trace.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        names = {e["name"] for e in payload["traceEvents"]}
+        assert "vqe.run" in names
+        assert "workflow.scf" in names
+        assert all(e["ph"] == "X" for e in payload["traceEvents"])
+        # Prometheus metrics dump
+        text = metrics.read_text()
+        assert "# TYPE repro_vqe_energy_evaluations_total counter" in text
+        # run report embeds comm/cache/fault sections and convergence
+        loaded = RunReport.load(str(report))
+        assert loaded.meta["command"] == "repro vqe"
+        assert loaded.convergence["energy"]
+        assert "comm" in loaded.to_dict()
+        assert "cache" in loaded.to_dict()
+        assert "faults" in loaded.to_dict()
+        # profiling is torn down after the command
+        assert not obs.enabled()
+
+    def test_metrics_out_jsonl(self, tmp_path, capsys):
+        metrics = tmp_path / "m.jsonl"
+        rc = main(["vqe", "h2", "--no-downfold", "--metrics-out", str(metrics)])
+        assert rc == 0
+        rows = [json.loads(line) for line in metrics.read_text().splitlines()]
+        assert any(r["name"] == "repro_vqe_energy_evaluations_total" for r in rows)
+
+    def test_faults_profile_report_embeds_ledgers(self, tmp_path, capsys):
+        report = tmp_path / "r.json"
+        rc = main(
+            [
+                "faults", "h2", "--crash-iteration", "1", "--seed", "7",
+                "--report-out", str(report),
+            ]
+        )
+        assert rc == 0
+        loaded = RunReport.load(str(report))
+        assert loaded.comm  # cross-check communicator stats
+        assert loaded.faults["events"] >= 1
+        assert loaded.faults["by_kind"].get("rank_crash") == 1
+
+    def test_report_command(self, tmp_path, capsys):
+        report = tmp_path / "r.json"
+        main(["vqe", "h2", "--no-downfold", "--report-out", str(report)])
+        capsys.readouterr()
+        rc = main(["report", str(report)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro vqe" in out
+        assert "-- spans (slowest first) --" in out
+        rc = main(["report", str(report), "--json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["meta"]["command"] == "repro vqe"
+
+    def test_json_mode_keeps_stdout_machine_readable(self, tmp_path, capsys):
+        rc = main(
+            ["vqe", "h2", "--no-downfold", "--json", "--profile"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)  # stdout is pure JSON
+        assert "-- spans (slowest first) --" in captured.err

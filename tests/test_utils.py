@@ -117,6 +117,29 @@ class TestTimer:
             pass
         t.reset()
         assert not t.totals
+        assert not t.counts
+
+    def test_section_records_on_exception(self):
+        t = Timer()
+        with pytest.raises(RuntimeError):
+            with t.section("boom"):
+                raise RuntimeError("x")
+        assert t.counts["boom"] == 1
+
+    def test_report_orders_slowest_first(self):
+        t = Timer()
+        t.totals = {"fast": 0.1, "slow": 2.0, "mid": 0.5}
+        t.counts = {"fast": 1, "slow": 1, "mid": 1}
+        lines = t.report().splitlines()
+        assert [ln.split()[0] for ln in lines] == ["slow", "mid", "fast"]
+
+    def test_nested_sections(self):
+        t = Timer()
+        with t.section("outer"):
+            with t.section("inner"):
+                pass
+        assert t.counts == {"outer": 1, "inner": 1}
+        assert t.totals["outer"] >= t.totals["inner"]
 
     def test_timed(self):
         with timed() as box:
