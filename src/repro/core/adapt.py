@@ -24,6 +24,7 @@ import numpy as np
 
 from repro import obs
 from repro.chem.pools import PoolOperator
+from repro.ir.compiled import compile_observable
 from repro.ir.pauli import PauliSum
 from repro.opt.base import Optimizer
 from repro.opt.gradient import AnsatzObjective
@@ -157,6 +158,9 @@ class AdaptVQE:
         if not pool:
             raise ValueError("pool is empty")
         self.hamiltonian = hamiltonian
+        # One x-mask-batched compilation shared by screening, the inner
+        # objectives (via the PauliSum-attached cache) and initial_state.
+        self._compiled_h = compile_observable(hamiltonian)
         self.pool = list(pool)
         self.reference_state = np.asarray(reference_state, dtype=np.complex128)
         self.optimizer = optimizer or LBFGSB(max_iterations=500)
@@ -169,10 +173,14 @@ class AdaptVQE:
     def pool_gradients(self, state: np.ndarray) -> np.ndarray:
         """<[H, A_k]> for every candidate, on the given state."""
         with obs.span("adapt.pool_screening", pool_size=len(self.pool)):
-            h_state = self.hamiltonian.apply(state)
+            h_state = self._compiled_h.apply(state)
             grads = np.empty(len(self.pool))
             for k, op in enumerate(self.pool):
-                grads[k] = 2.0 * np.real(np.vdot(h_state, op.generator.apply(state)))
+                # Compiled generator application: a UCCSD excitation
+                # block's strings share one x-mask, so each candidate
+                # screens in a single gather instead of one per string.
+                a_state = compile_observable(op.generator).apply(state)
+                grads[k] = 2.0 * np.real(np.vdot(h_state, a_state))
         return grads
 
     # -- stepwise interface (checkpointable campaign loop) ----------------------
@@ -180,7 +188,7 @@ class AdaptVQE:
     def initial_state(self) -> AdaptState:
         """Fresh ADAPT progress at iteration 0 (reference state)."""
         state = self.reference_state.copy()
-        energy = float(np.real(self.hamiltonian.expectation(state)))
+        energy = float(np.real(self._compiled_h.expectation(state)))
         return AdaptState(energy=energy, statevector=state)
 
     def prepare_statevector(self, st: AdaptState) -> np.ndarray:

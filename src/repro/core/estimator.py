@@ -42,6 +42,11 @@ class Estimator(ABC):
     ``timer`` (optional) is handed to every internally created
     :class:`StatevectorSimulator`, so driver-level profiles include
     the simulator's ``run_circuit`` sections.
+
+    Simulators are pooled per register width: a VQE loop calls
+    ``estimate`` thousands of times with the same-width circuit, and
+    re-allocating a 2^n amplitude buffer (plus a second one inside the
+    basis-rotation/sampling paths) per call was pure setup overhead.
     """
 
     name = "abstract"
@@ -49,9 +54,14 @@ class Estimator(ABC):
     def __init__(self, timer: Optional[Timer] = None) -> None:
         self.evaluations = 0
         self.timer = timer
+        self._sims: dict = {}
 
     def _simulator(self, num_qubits: int) -> StatevectorSimulator:
-        return StatevectorSimulator(num_qubits, timer=self.timer)
+        sim = self._sims.get(num_qubits)
+        if sim is None:
+            sim = StatevectorSimulator(num_qubits, timer=self.timer)
+            self._sims[num_qubits] = sim
+        return sim
 
     @abstractmethod
     def estimate(self, circuit: Circuit, observable: PauliSum) -> float:
@@ -90,7 +100,7 @@ class CachingEstimator(Estimator):
         sim = self._simulator(circuit.num_qubits)
         state = sim.run(circuit).copy()
         value, gates = expectation_basis_rotated(
-            state, observable, return_gate_count=True
+            state, observable, return_gate_count=True, sim=sim
         )
         self.extra_gates += gates
         return value
@@ -116,7 +126,7 @@ class SamplingEstimator(Estimator):
         sim = self._simulator(circuit.num_qubits)
         state = sim.run(circuit).copy()
         return expectation_sampled(
-            state, observable, self.shots_per_group, self.rng
+            state, observable, self.shots_per_group, self.rng, sim=sim
         )
 
 

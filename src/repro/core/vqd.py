@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro.ir.compiled import compile_observable
 from repro.ir.pauli import PauliSum
 from repro.opt.base import Optimizer
 from repro.opt.gradient import AnsatzObjective
@@ -80,6 +81,7 @@ def run_vqd(
     rng = np.random.default_rng(seed)
 
     objective = AnsatzObjective(reference_state, list(generators), hamiltonian)
+    compiled_h = compile_observable(hamiltonian)
     m = objective.num_parameters
     found_states: List[np.ndarray] = []
     energies: List[float] = []
@@ -90,7 +92,7 @@ def run_vqd(
 
         def deflated_energy(x: np.ndarray) -> float:
             state = objective.prepare_state(x)
-            e = float(np.real(np.vdot(state, hamiltonian.apply(state))))
+            e = float(np.real(np.vdot(state, compiled_h.apply(state))))
             for prev in found_states:
                 e += beta * float(np.abs(np.vdot(prev, state)) ** 2)
             return e
@@ -99,7 +101,7 @@ def run_vqd(
             # adjoint gradient of the deflated functional: lambda gains
             # beta * <prev|psi> |prev> terms alongside H|psi>.
             psi = objective.prepare_state(x)
-            lam = hamiltonian.apply(psi)
+            lam = compiled_h.apply(psi)
             for prev in found_states:
                 lam = lam + beta * np.vdot(prev, psi) * prev
             phi = psi
@@ -128,7 +130,7 @@ def run_vqd(
         assert best is not None
         state = objective.prepare_state(best.x)
         # report the raw energy, not the deflated functional
-        energy = float(np.real(np.vdot(state, hamiltonian.apply(state))))
+        energy = float(np.real(np.vdot(state, compiled_h.apply(state))))
         found_states.append(state)
         energies.append(energy)
         parameters.append(best.x)

@@ -38,11 +38,15 @@ from repro.ir.circuit import Circuit
 from repro.ir.gates import Gate
 from repro.ir.pauli import PauliSum
 from repro.sim import kernels
-from repro.utils.bitops import count_set_bits, insert_zero_bit
+from repro.utils.bitops import (
+    I_POW,
+    basis_indices,
+    count_set_bits,
+    insert_zero_bit,
+    popcount,
+)
 
 __all__ = ["DistributedStatevector"]
-
-_I_POW = (1.0 + 0j, 1j, -1.0 + 0j, -1j)
 
 
 class DistributedStatevector:
@@ -265,13 +269,22 @@ class DistributedStatevector:
                     out |= 1 << self.layout[q]
             return out
 
-        groups: Dict[int, List[Tuple[int, int, complex]]] = {}
+        # Two-level grouping: by global-x pattern (one slice exchange
+        # each), then by local x-mask (one gather each).  The per-term
+        # local sign vectors are combined into one complex diagonal per
+        # (rank, local x-mask) via a small matvec, so no rank pays a
+        # full-vector pass per term — the distributed analogue of the
+        # compiled x-mask batching in ``repro.ir.compiled``.
+        groups: Dict[int, Dict[int, List[Tuple[int, int, complex]]]] = {}
         for (x, z), coeff in observable.terms.items():
             px, pz = to_phys(x), to_phys(z)
-            groups.setdefault(px >> L, []).append((px, pz, coeff))
+            groups.setdefault(px >> L, {}).setdefault(
+                px & local_mask, []
+            ).append((px, pz, coeff))
 
+        jloc = basis_indices(L)
         total = 0.0 + 0.0j
-        for rank_xor, terms in groups.items():
+        for rank_xor, by_xloc in groups.items():
             if rank_xor == 0:
                 partner_slices = self.slices
             else:
@@ -280,23 +293,32 @@ class DistributedStatevector:
                     [s.copy() for s in self.slices], partners
                 )
                 self.exchanges += 1
+            # Rank-independent precomputation, shared by every rank:
+            # gather table, per-term sign rows, base weights, global-Z
+            # masks (whose rank-dependent parity flips the weight sign).
+            compiled = []
+            for x_loc, terms in by_xloc.items():
+                src = jloc ^ x_loc
+                sign_rows = np.empty((len(terms), self.local_dim))
+                base_w = np.empty(len(terms), dtype=np.complex128)
+                gz_masks = np.empty(len(terms), dtype=np.int64)
+                for t, (px, pz, coeff) in enumerate(terms):
+                    z_loc = pz & local_mask
+                    sign_rows[t] = 1.0 - 2.0 * (count_set_bits(src & z_loc) & 1)
+                    base_w[t] = coeff * I_POW[popcount(px & pz) % 4]
+                    gz_masks[t] = pz >> L
+                compiled.append((src, sign_rows, base_w, gz_masks))
             per_rank = []
             for k in range(self.num_ranks):
                 acc = 0.0 + 0.0j
                 mine = self.slices[k]
                 theirs = partner_slices[k]
-                jloc = np.arange(self.local_dim, dtype=np.int64)
-                for px, pz, coeff in terms:
-                    x_loc = px & local_mask
-                    z_loc = pz & local_mask
-                    src = jloc ^ x_loc
-                    signs = 1.0 - 2.0 * (count_set_bits(src & z_loc) & 1)
-                    # global Z sign from the source slice's rank id
-                    src_rank = k ^ rank_xor
-                    gz = bin((pz >> L) & src_rank).count("1") & 1
-                    phase = _I_POW[bin(px & pz).count("1") % 4]
-                    sgn = -1.0 if gz else 1.0
-                    acc += coeff * phase * sgn * np.vdot(mine, theirs[src] * signs)
+                src_rank = k ^ rank_xor  # global Z sign comes from the source slice
+                for src, sign_rows, base_w, gz_masks in compiled:
+                    gpar = count_set_bits(gz_masks & src_rank) & 1
+                    weights = base_w * (1.0 - 2.0 * gpar)
+                    diag = weights @ sign_rows
+                    acc += np.vdot(mine, theirs[src] * diag)
                 per_rank.append(acc)
             total += self.comm.allreduce(per_rank)
         if abs(total.imag) > 1e-8 * max(1.0, abs(total.real)):

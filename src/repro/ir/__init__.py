@@ -16,6 +16,7 @@ from repro.ir.library import (
     qft,
     trotter_evolution,
 )
+from repro.ir.compiled import CompiledPauliSum, compile_observable
 from repro.ir.gates import GATE_SET, Gate, Parameter, gate_matrix
 from repro.ir.pauli import PauliString, PauliSum
 from repro.ir.qasm import from_qasm, to_qasm
@@ -28,6 +29,8 @@ __all__ = [
     "gate_matrix",
     "PauliString",
     "PauliSum",
+    "CompiledPauliSum",
+    "compile_observable",
     "from_qasm",
     "to_qasm",
     "qft",

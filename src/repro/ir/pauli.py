@@ -27,19 +27,14 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 import scipy.sparse as sp
 
-from repro.utils.bitops import count_set_bits
+from repro.utils.bitops import I_POW as _I_POW
+from repro.utils.bitops import basis_indices, count_set_bits
+from repro.utils.bitops import popcount as _popcount
 
 __all__ = ["PauliString", "PauliSum"]
 
 _CHAR_TO_XZ = {"I": (0, 0), "X": (1, 0), "Y": (1, 1), "Z": (0, 1)}
 _XZ_TO_CHAR = {(0, 0): "I", (1, 0): "X", (1, 1): "Y", (0, 1): "Z"}
-
-# Powers of i indexed mod 4.
-_I_POW = (1.0 + 0j, 1j, -1.0 + 0j, -1j)
-
-
-def _popcount(v: int) -> int:
-    return bin(v).count("1")
 
 
 class PauliString:
@@ -176,7 +171,7 @@ class PauliString:
         dim = 1 << n
         if state.shape[0] != dim:
             raise ValueError("state dimension mismatch")
-        idx = np.arange(dim, dtype=np.int64)
+        idx = basis_indices(n)
         src = idx ^ self.x
         # P|k> = i^c (-1)^{parity(z & k)} |k ^ x>; reading out[j] pulls from
         # k = j ^ x, giving sign parity(z & (j ^ x)).
@@ -195,7 +190,7 @@ class PauliString:
         """Sparse matrix (one nonzero per row)."""
         n = self.num_qubits
         dim = 1 << n
-        cols = np.arange(dim, dtype=np.int64)
+        cols = basis_indices(n)
         rows = cols ^ self.x
         vals = (1.0 - 2.0 * (count_set_bits(cols & self.z) & 1)).astype(
             np.complex128
@@ -231,9 +226,16 @@ class PauliSum:
     Internally a dict keyed by ``(x, z)`` masks; all algebra collapses
     duplicate strings immediately, which keeps commutator expansions
     (downfolding) from blowing up.
+
+    Expensive derived structures — the qubit-wise-commuting measurement
+    grouping and the compiled x-mask-batched form
+    (:mod:`repro.ir.compiled`) — are memoized on the instance and
+    invalidated by the mutating operations ``add_term`` / ``chop``.
+    Code that mutates ``terms`` directly must call ``invalidate_caches``
+    itself (nothing in this repository does).
     """
 
-    __slots__ = ("num_qubits", "terms")
+    __slots__ = ("num_qubits", "terms", "_version", "_qwc_groups", "_compiled")
 
     def __init__(
         self,
@@ -242,6 +244,25 @@ class PauliSum:
     ):
         self.num_qubits = num_qubits
         self.terms: Dict[Tuple[int, int], complex] = dict(terms or {})
+        self._version = 0
+        self._qwc_groups: Optional[
+            List[List[Tuple[complex, PauliString]]]
+        ] = None
+        self._compiled: Optional[object] = None
+
+    # -- derived-structure caches ---------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by ``add_term``/``chop`` so derived
+        caches (grouping, compiled form) can detect staleness."""
+        return self._version
+
+    def invalidate_caches(self) -> None:
+        """Drop memoized grouping / compiled form after a mutation."""
+        self._version += 1
+        self._qwc_groups = None
+        self._compiled = None
 
     # -- constructors -----------------------------------------------------------
 
@@ -295,12 +316,15 @@ class PauliSum:
             self.terms.pop(key, None)
         else:
             self.terms[key] = new
+        self.invalidate_caches()
 
     def chop(self, threshold: float = 1e-12) -> "PauliSum":
         """Drop terms with |coeff| <= threshold (in place); returns self."""
         dead = [k for k, c in self.terms.items() if abs(c) <= threshold]
         for k in dead:
             del self.terms[k]
+        if dead:
+            self.invalidate_caches()
         return self
 
     # -- inspection ---------------------------------------------------------------
@@ -421,12 +445,18 @@ class PauliSum:
     # -- numerics --------------------------------------------------------------------
 
     def apply(self, state: np.ndarray) -> np.ndarray:
-        """Return ``H @ state`` summing vectorized per-term applications."""
+        """Return ``H @ state`` summing vectorized per-term applications.
+
+        This is the naive one-pass-per-term reference path; hot loops
+        (VQE energies/gradients, ADAPT screening) should go through
+        :func:`repro.ir.compiled.compile_observable`, which batches
+        terms by shared x-mask into one pass per distinct mask.
+        """
         dim = 1 << self.num_qubits
         if state.shape[0] != dim:
             raise ValueError("state dimension mismatch")
         out = np.zeros_like(state, dtype=np.complex128)
-        idx = np.arange(dim, dtype=np.int64)
+        idx = basis_indices(self.num_qubits)
         for (x, z), coeff in self.terms.items():
             src = idx ^ x
             signs = 1.0 - 2.0 * (count_set_bits(src & z) & 1)
@@ -442,7 +472,7 @@ class PauliSum:
         """Sparse matrix of the whole sum."""
         dim = 1 << self.num_qubits
         acc = sp.csr_matrix((dim, dim), dtype=np.complex128)
-        idx = np.arange(dim, dtype=np.int64)
+        idx = basis_indices(self.num_qubits)
         for (x, z), coeff in self.terms.items():
             cols = idx
             rows = cols ^ x
@@ -474,7 +504,14 @@ class PauliSum:
         Terms in one group can be measured from a single basis-rotated
         copy of the cached post-ansatz state, which is exactly the
         saving quantified in Fig. 3 of the paper.
+
+        The greedy pass is O(terms^2); the result is memoized on the
+        instance (invalidated by ``add_term``/``chop``) because every
+        basis-rotated / sampled expectation needs the same grouping.
+        Callers share the returned structure — treat it as read-only.
         """
+        if self._qwc_groups is not None:
+            return self._qwc_groups
         groups: List[List[Tuple[complex, PauliString]]] = []
         # Greedy first-fit over terms sorted by descending |coeff| so that
         # heavy terms seed the groups.
@@ -491,6 +528,7 @@ class PauliSum:
             if not placed:
                 groups.append([(coeff, pstr)])
                 reps.append([pstr])
+        self._qwc_groups = groups
         return groups
 
     def group_general_commuting(

@@ -27,6 +27,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from repro import obs
+from repro.ir.compiled import compile_observable
 from repro.ir.pauli import PauliSum
 from repro.sim.evolution import GeneratorEvolution
 
@@ -68,6 +69,11 @@ class AnsatzObjective:
     ):
         self.reference = np.asarray(reference_state, dtype=np.complex128)
         self.hamiltonian = hamiltonian
+        # x-mask-batched observable: H|psi> in the adjoint sweep costs
+        # one pass per distinct x-mask rather than per term, and the
+        # compiled form is shared across the thousands of energy /
+        # gradient calls one optimization makes (repro.ir.compiled).
+        self._compiled_h = compile_observable(hamiltonian)
         self.evolutions = [GeneratorEvolution(g) for g in generators]
         self.num_parameters = len(self.evolutions)
         self.energy_evaluations = 0
@@ -86,7 +92,7 @@ class AnsatzObjective:
         self.energy_evaluations += 1
         with obs.span("opt.objective_energy", parameters=self.num_parameters):
             state = self.prepare_state(np.asarray(params, dtype=float))
-            val = self.hamiltonian.expectation(state)
+            val = self._compiled_h.expectation(state)
         return float(val.real)
 
     def gradient(self, params: np.ndarray) -> np.ndarray:
@@ -97,7 +103,7 @@ class AnsatzObjective:
 
     def _gradient_impl(self, params: np.ndarray) -> np.ndarray:
         psi = self.prepare_state(params)
-        lam = self.hamiltonian.apply(psi)
+        lam = self._compiled_h.apply(psi)
         phi = psi
         grad = np.zeros(self.num_parameters)
         for k in range(self.num_parameters - 1, -1, -1):
@@ -111,7 +117,7 @@ class AnsatzObjective:
         """Single-pass convenience for optimizers wanting both."""
         params = np.asarray(params, dtype=float)
         psi = self.prepare_state(params)
-        lam = self.hamiltonian.apply(psi)
+        lam = self._compiled_h.apply(psi)
         energy = float(np.real(np.vdot(psi, lam)))
         phi = psi
         grad = np.zeros(self.num_parameters)

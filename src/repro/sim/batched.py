@@ -27,13 +27,12 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.ir.circuit import Circuit
+from repro.ir.compiled import CompiledPauliSum, compile_observable
 from repro.ir.gates import Gate, Parameter
 from repro.ir.pauli import PauliSum
-from repro.utils.bitops import count_set_bits, insert_zero_bit
+from repro.utils.bitops import indices_1q, indices_2q
 
 __all__ = ["BatchedStatevectorSimulator"]
-
-_I_POW = (1.0 + 0j, 1j, -1.0 + 0j, -1j)
 
 
 class BatchedStatevectorSimulator:
@@ -59,13 +58,8 @@ class BatchedStatevectorSimulator:
 
     # -- gate application ---------------------------------------------------
 
-    def _indices_1q(self, q: int) -> "tuple[np.ndarray, np.ndarray]":
-        base = np.arange(1 << (self.num_qubits - 1), dtype=np.int64)
-        i0 = insert_zero_bit(base, q)
-        return i0, i0 | (1 << q)
-
     def _apply_1q_fixed(self, m: np.ndarray, q: int) -> None:
-        i0, i1 = self._indices_1q(q)
+        i0, i1 = indices_1q(self.num_qubits, q)
         a0 = self.states[:, i0]
         a1 = self.states[:, i1]
         self.states[:, i0] = m[0, 0] * a0 + m[0, 1] * a1
@@ -73,28 +67,20 @@ class BatchedStatevectorSimulator:
 
     def _apply_1q_batched(self, ms: np.ndarray, q: int) -> None:
         """ms has shape (B, 2, 2): a distinct 1q matrix per batch row."""
-        i0, i1 = self._indices_1q(q)
+        i0, i1 = indices_1q(self.num_qubits, q)
         a0 = self.states[:, i0]
         a1 = self.states[:, i1]
         self.states[:, i0] = ms[:, 0, 0, None] * a0 + ms[:, 0, 1, None] * a1
         self.states[:, i1] = ms[:, 1, 0, None] * a0 + ms[:, 1, 1, None] * a1
 
     def _apply_2q_fixed(self, m: np.ndarray, q0: int, q1: int) -> None:
-        lo, hi = (q0, q1) if q0 < q1 else (q1, q0)
-        base = np.arange(1 << (self.num_qubits - 2), dtype=np.int64)
-        i00 = insert_zero_bit(insert_zero_bit(base, lo), hi)
-        b0, b1 = 1 << q0, 1 << q1
-        idx = [i00, i00 | b0, i00 | b1, i00 | b0 | b1]
+        idx = indices_2q(self.num_qubits, q0, q1)
         amps = [self.states[:, i] for i in idx]
         for row in range(4):
             self.states[:, idx[row]] = sum(m[row, col] * amps[col] for col in range(4))
 
     def _apply_2q_batched(self, ms: np.ndarray, q0: int, q1: int) -> None:
-        lo, hi = (q0, q1) if q0 < q1 else (q1, q0)
-        base = np.arange(1 << (self.num_qubits - 2), dtype=np.int64)
-        i00 = insert_zero_bit(insert_zero_bit(base, lo), hi)
-        b0, b1 = 1 << q0, 1 << q1
-        idx = [i00, i00 | b0, i00 | b1, i00 | b0 | b1]
+        idx = indices_2q(self.num_qubits, q0, q1)
         amps = [self.states[:, i] for i in idx]
         for row in range(4):
             self.states[:, idx[row]] = sum(
@@ -203,20 +189,18 @@ class BatchedStatevectorSimulator:
 
     # -- observation ---------------------------------------------------------------
 
-    def expectations(self, observable: PauliSum) -> np.ndarray:
-        """<psi_b|H|psi_b> for every batch row, vectorized per term."""
+    def expectations(
+        self, observable: "PauliSum | CompiledPauliSum"
+    ) -> np.ndarray:
+        """<psi_b|H|psi_b> for every batch row.
+
+        The observable is compiled to its x-mask-batched form (cached
+        on the ``PauliSum``), so the whole batch pays one gather +
+        multiply + reduction per distinct x-mask rather than per term.
+        """
         if observable.num_qubits != self.num_qubits:
             raise ValueError("observable width mismatch")
-        idx = np.arange(self.dim, dtype=np.int64)
-        out = np.zeros(self.batch_size, dtype=np.complex128)
-        for (x, z), coeff in observable.terms.items():
-            src = idx ^ x
-            signs = 1.0 - 2.0 * (count_set_bits(src & z) & 1)
-            phase = _I_POW[bin(x & z).count("1") % 4]
-            applied = self.states[:, src] * signs
-            out += (coeff * phase) * np.einsum(
-                "bi,bi->b", self.states.conj(), applied
-            )
+        out = compile_observable(observable).expectations(self.states)
         if np.any(np.abs(out.imag) > 1e-8 * np.maximum(1.0, np.abs(out.real))):
             raise ValueError("non-Hermitian observable")
         return out.real

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 import scipy.sparse.linalg as spla
 
+from repro.ir.compiled import compile_observable
 from repro.ir.pauli import PauliString, PauliSum
 
 __all__ = ["apply_pauli_rotation", "terms_commute", "GeneratorEvolution"]
@@ -80,5 +81,12 @@ class GeneratorEvolution:
         return spla.expm_multiply(self._sparse * theta, state)
 
     def apply_generator(self, state: np.ndarray) -> np.ndarray:
-        """Return A @ state (used for adjoint gradients)."""
-        return self.generator.apply(state)
+        """Return A @ state (used for adjoint gradients).
+
+        Uses the x-mask-batched compiled form, which is cached on the
+        generator itself — UCCSD excitation blocks share one x-mask
+        across all their strings, so this is a single gather + multiply
+        per call, reused across every ADAPT re-optimization that picks
+        the same pool operator.
+        """
+        return compile_observable(self.generator).apply(state)

@@ -25,15 +25,16 @@ increasing order of hardware faithfulness:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro import obs
 from repro.ir.circuit import Circuit
+from repro.ir.compiled import CompiledPauliSum, compile_observable
 from repro.ir.pauli import PauliString, PauliSum
 from repro.sim.statevector import StatevectorSimulator
-from repro.utils.bitops import count_set_bits
+from repro.utils.bitops import basis_indices, count_set_bits
 
 __all__ = [
     "basis_change_circuit",
@@ -70,19 +71,31 @@ def basis_change_circuit(group: Sequence[PauliString], num_qubits: int) -> Circu
 def diagonal_expectation(probabilities: np.ndarray, z_mask: int) -> float:
     """<Z-string> from outcome probabilities: sum_b p_b (-1)^parity(b & mask)."""
     dim = probabilities.shape[0]
-    idx = np.arange(dim, dtype=np.int64)
+    idx = basis_indices(dim.bit_length() - 1)
     signs = 1.0 - 2.0 * (count_set_bits(idx & z_mask) & 1)
     return float(np.dot(probabilities, signs))
 
 
-def expectation_direct(state: np.ndarray, hamiltonian: PauliSum) -> float:
+def expectation_direct(
+    state: np.ndarray, hamiltonian: Union[PauliSum, CompiledPauliSum]
+) -> float:
     """Exact <psi|H|psi> from amplitudes (direct method, §4.2.2).
+
+    The observable is compiled to its x-mask-batched form on first use
+    (one pass per distinct x-mask instead of per term; see
+    :mod:`repro.ir.compiled`) and the compiled form is reused across
+    calls — pass either a ``PauliSum`` or a ``CompiledPauliSum``.
 
     Raises if the expectation has a non-negligible imaginary part
     (i.e. H was not Hermitian).
     """
-    with obs.span("sim.expectation_direct", terms=hamiltonian.num_terms):
-        val = hamiltonian.expectation(state)
+    compiled = compile_observable(hamiltonian)
+    with obs.span(
+        "sim.expectation_direct",
+        terms=compiled.num_terms,
+        passes=compiled.num_passes,
+    ):
+        val = compiled.expectation(state)
     if obs.enabled():
         obs.inc(
             "repro_expectation_evaluations_total",
@@ -98,6 +111,7 @@ def expectation_basis_rotated(
     state: np.ndarray,
     hamiltonian: PauliSum,
     return_gate_count: bool = False,
+    sim: Optional[StatevectorSimulator] = None,
 ) -> "float | Tuple[float, int]":
     """Exact <H> via shared-basis rotations of a cached state.
 
@@ -106,9 +120,16 @@ def expectation_basis_rotated(
     against the rotated probability vector.  The returned gate count is
     the number of *additional* gates beyond the single ansatz execution
     — the caching-mode cost of Fig. 3.
+
+    ``sim`` lets repeated evaluations (estimators, Fig. 3 sweeps) reuse
+    one simulator instead of allocating a fresh 2^n register per call;
+    the measurement grouping itself is memoized on the ``PauliSum``.
     """
     n = hamiltonian.num_qubits
-    sim = StatevectorSimulator(n)
+    if sim is None:
+        sim = StatevectorSimulator(n)
+    elif sim.num_qubits != n:
+        raise ValueError("simulator width does not match observable")
     total = 0.0
     extra_gates = 0
     rotation_span = obs.span("sim.expectation_basis_rotated", qubits=n)
@@ -157,11 +178,19 @@ def expectation_sampled(
     hamiltonian: PauliSum,
     shots_per_group: int,
     rng: Optional[np.random.Generator] = None,
+    sim: Optional[StatevectorSimulator] = None,
 ) -> float:
-    """Finite-shot estimate of <H> (the traditional baseline, §4.2.1)."""
+    """Finite-shot estimate of <H> (the traditional baseline, §4.2.1).
+
+    ``sim`` lets repeated evaluations reuse one simulator; the
+    measurement grouping is memoized on the ``PauliSum``.
+    """
     rng = rng or np.random.default_rng()
     n = hamiltonian.num_qubits
-    sim = StatevectorSimulator(n)
+    if sim is None:
+        sim = StatevectorSimulator(n)
+    elif sim.num_qubits != n:
+        raise ValueError("simulator width does not match observable")
     total = 0.0
     sampling_span = obs.span(
         "sim.expectation_sampled", qubits=n, shots_per_group=shots_per_group

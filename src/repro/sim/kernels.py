@@ -11,6 +11,12 @@ GPU threads are indexed in the real simulator.
 All kernels update the state **in place** (in-place operations avoid a
 full-vector allocation per gate, the dominant memory cost at scale) and
 assume ``state`` is a contiguous complex128 array of length 2^n.
+
+Addressing tables are pulled from the process-wide LRU cache in
+``repro.utils.bitops`` (``indices_1q`` / ``indices_2q``): a VQE
+campaign applies the same few (width, qubit) combinations millions of
+times, so the tables are built once and shared.  They are read-only —
+kernels only ever use them as gather/scatter indices.
 """
 
 from __future__ import annotations
@@ -19,7 +25,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.utils.bitops import insert_zero_bit
+from repro.utils.bitops import indices_1q, indices_2q, insert_zero_bit
 
 __all__ = [
     "apply_1q",
@@ -32,15 +38,9 @@ __all__ = [
 ]
 
 
-def _groups_1q(n: int, q: int) -> np.ndarray:
-    base = np.arange(1 << (n - 1), dtype=np.int64)
-    return insert_zero_bit(base, q)
-
-
 def apply_1q(state: np.ndarray, matrix: np.ndarray, qubit: int, n: int) -> None:
     """Apply a dense 2x2 unitary to ``qubit``; two vectorized passes."""
-    i0 = _groups_1q(n, qubit)
-    i1 = i0 | (1 << qubit)
+    i0, i1 = indices_1q(n, qubit)
     a0 = state[i0]
     a1 = state[i1]
     m = matrix
@@ -50,8 +50,7 @@ def apply_1q(state: np.ndarray, matrix: np.ndarray, qubit: int, n: int) -> None:
 
 def apply_diag_1q(state: np.ndarray, d0: complex, d1: complex, qubit: int, n: int) -> None:
     """Apply diag(d0, d1) on ``qubit`` — no gather needed, pure scaling."""
-    i0 = _groups_1q(n, qubit)
-    i1 = i0 | (1 << qubit)
+    i0, i1 = indices_1q(n, qubit)
     if d0 != 1.0:
         state[i0] *= d0
     if d1 != 1.0:
@@ -60,8 +59,7 @@ def apply_diag_1q(state: np.ndarray, d0: complex, d1: complex, qubit: int, n: in
 
 def apply_x(state: np.ndarray, qubit: int, n: int) -> None:
     """Pauli-X as a pure swap of amplitude halves."""
-    i0 = _groups_1q(n, qubit)
-    i1 = i0 | (1 << qubit)
+    i0, i1 = indices_1q(n, qubit)
     tmp = state[i0].copy()
     state[i0] = state[i1]
     state[i1] = tmp
@@ -76,14 +74,7 @@ def apply_2q(
     ``b1 b0`` with ``b0`` the state of ``q0`` (matches
     ``repro.ir.gates``).
     """
-    lo, hi = (q0, q1) if q0 < q1 else (q1, q0)
-    base = np.arange(1 << (n - 2), dtype=np.int64)
-    i00 = insert_zero_bit(insert_zero_bit(base, lo), hi)
-    b0 = 1 << q0
-    b1 = 1 << q1
-    i01 = i00 | b0  # q0 = 1
-    i10 = i00 | b1  # q1 = 1
-    i11 = i00 | b0 | b1
+    i00, i01, i10, i11 = indices_2q(n, q0, q1)
     a00 = state[i00]
     a01 = state[i01]
     a10 = state[i10]
@@ -103,12 +94,8 @@ def apply_diag_2q(
     n: int,
 ) -> None:
     """Apply diag(d00, d01, d10, d11) on (q0, q1) by scaling only."""
-    lo, hi = (q0, q1) if q0 < q1 else (q1, q0)
-    base = np.arange(1 << (n - 2), dtype=np.int64)
-    i00 = insert_zero_bit(insert_zero_bit(base, lo), hi)
-    b0 = 1 << q0
-    b1 = 1 << q1
-    for sub, idx in ((0, i00), (1, i00 | b0), (2, i00 | b1), (3, i00 | b0 | b1)):
+    tables = indices_2q(n, q0, q1)
+    for sub, idx in enumerate(tables):
         d = diag[sub]
         if d != 1.0:
             state[idx] *= d
@@ -116,13 +103,9 @@ def apply_diag_2q(
 
 def apply_cx(state: np.ndarray, control: int, target: int, n: int) -> None:
     """CNOT as a conditional swap — half the traffic of a dense 4x4."""
-    lo, hi = (control, target) if control < target else (target, control)
-    base = np.arange(1 << (n - 2), dtype=np.int64)
-    i00 = insert_zero_bit(insert_zero_bit(base, lo), hi)
-    bc = 1 << control
-    bt = 1 << target
-    ic = i00 | bc
-    ict = i00 | bc | bt
+    # indices_2q is keyed on (control, target): sub-block bit 0 is the
+    # control, so blocks 1 (c=1, t=0) and 3 (c=1, t=1) swap.
+    _, ic, _, ict = indices_2q(n, control, target)
     tmp = state[ic].copy()
     state[ic] = state[ict]
     state[ict] = tmp

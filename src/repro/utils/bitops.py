@@ -12,17 +12,32 @@ index ``sum_q b_q << q``.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = [
+    "I_POW",
     "bit_at",
     "set_bit",
     "flip_bit",
+    "popcount",
     "count_set_bits",
     "insert_zero_bit",
     "insert_zero_bits",
     "parity_mask",
+    "sign_vector",
+    "basis_indices",
+    "indices_1q",
+    "indices_2q",
+    "index_table_cache_info",
+    "clear_index_tables",
 ]
+
+# Powers of i indexed mod 4 — the phase table of P(x, z) = i^{|x&z|} X^x Z^z.
+# Single shared definition; every module that used to carry its own copy
+# (ir.pauli, sim.batched, hpc.distributed) imports this one.
+I_POW = (1.0 + 0j, 1j, -1.0 + 0j, -1j)
 
 
 def bit_at(index: int, position: int) -> int:
@@ -40,6 +55,16 @@ def set_bit(index: int, position: int, value: int) -> int:
 def flip_bit(index: int, position: int) -> int:
     """Return ``index`` with bit ``position`` flipped."""
     return index ^ (1 << position)
+
+
+def popcount(v: int) -> int:
+    """Population count of a Python int (the scalar fast path).
+
+    The term-algebra loops (products, commutators) call this on dict
+    keys millions of times during downfolding; keeping it free of the
+    ndarray dispatch in :func:`count_set_bits` matters there.
+    """
+    return v.bit_count() if hasattr(int, "bit_count") else bin(v).count("1")
 
 
 def count_set_bits(x: "int | np.ndarray") -> "int | np.ndarray":
@@ -93,3 +118,76 @@ def parity_mask(indices: np.ndarray, mask: int) -> np.ndarray:
     string over all basis states in one shot.
     """
     return (count_set_bits(indices & mask) & 1).astype(np.int64)
+
+
+def sign_vector(z_mask: int, num_qubits: int) -> np.ndarray:
+    """The +/-1 eigenvalue pattern of ``Z^z`` over all 2^n basis states:
+    ``sign_vector(z, n)[k] = (-1)^parity(k & z)`` (float64)."""
+    idx = basis_indices(num_qubits)
+    return 1.0 - 2.0 * (count_set_bits(idx & z_mask) & 1)
+
+
+# -- cached gate index tables -------------------------------------------------
+#
+# Every gate application needs the same `np.arange` + `insert_zero_bit`
+# addressing tables for a given (register width, target qubits); the
+# simulators used to rebuild them per gate, which for a VQE campaign
+# means millions of redundant allocations.  These process-wide LRU
+# caches build each table once.  Returned arrays are marked read-only —
+# kernels must treat them as shared immutable state.
+
+
+def _frozen(a: np.ndarray) -> np.ndarray:
+    a.flags.writeable = False
+    return a
+
+
+@lru_cache(maxsize=512)
+def basis_indices(num_qubits: int) -> np.ndarray:
+    """Read-only ``np.arange(2^n, dtype=int64)`` — the full basis-index
+    table used by Pauli application and diagonal expectation."""
+    return _frozen(np.arange(1 << num_qubits, dtype=np.int64))
+
+
+@lru_cache(maxsize=4096)
+def indices_1q(num_qubits: int, qubit: int) -> "tuple[np.ndarray, np.ndarray]":
+    """Read-only amplitude-pair index tables ``(i0, i1)`` for a 1-qubit
+    gate on ``qubit`` in an ``num_qubits``-wide register."""
+    base = np.arange(1 << (num_qubits - 1), dtype=np.int64)
+    i0 = insert_zero_bit(base, qubit)
+    return _frozen(i0), _frozen(i0 | (1 << qubit))
+
+
+@lru_cache(maxsize=4096)
+def indices_2q(
+    num_qubits: int, q0: int, q1: int
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
+    """Read-only index tables ``(i00, i01, i10, i11)`` for a 2-qubit
+    gate on ``(q0, q1)``; sub-block ``b1 b0`` has ``b0`` = state of
+    ``q0`` (little-endian, matching ``repro.ir.gates``)."""
+    lo, hi = (q0, q1) if q0 < q1 else (q1, q0)
+    base = np.arange(1 << (num_qubits - 2), dtype=np.int64)
+    i00 = insert_zero_bit(insert_zero_bit(base, lo), hi)
+    b0, b1 = 1 << q0, 1 << q1
+    return (
+        _frozen(i00),
+        _frozen(i00 | b0),
+        _frozen(i00 | b1),
+        _frozen(i00 | b0 | b1),
+    )
+
+
+def index_table_cache_info() -> "dict[str, object]":
+    """Hit/miss statistics of the index-table caches (diagnostics)."""
+    return {
+        "basis_indices": basis_indices.cache_info(),
+        "indices_1q": indices_1q.cache_info(),
+        "indices_2q": indices_2q.cache_info(),
+    }
+
+
+def clear_index_tables() -> None:
+    """Drop all cached index tables (frees memory after wide-register runs)."""
+    basis_indices.cache_clear()
+    indices_1q.cache_clear()
+    indices_2q.cache_clear()
