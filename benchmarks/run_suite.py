@@ -1,0 +1,192 @@
+"""Unified benchmark harness: run every ``bench_*.py`` and emit one
+schema-versioned ``BENCH_<tag>.json`` (see ``repro.obs.bench``).
+
+Each benchmark file runs in its own in-process pytest session so a
+broken file cannot take down the rest of the suite.  Observability is
+enabled for the whole run: every test's entry carries the delta of the
+key ``repro_*`` counters it moved (bytes exchanged, gates applied,
+simulated schedule seconds, ...) next to its wall time, so a BENCH
+file doubles as a coarse performance fingerprint of the commit.
+
+Modes:
+
+* ``--smoke`` (CI default) — pytest-benchmark fixtures run once
+  without calibration (``--benchmark-disable``); the whole suite takes
+  about a minute,
+* ``--full`` — benchmarks calibrate and repeat as they were written.
+
+Compare two BENCH files with ``repro bench-diff OLD NEW``; CI gates on
+the committed ``benchmarks/results/BENCH_baseline.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import pytest  # noqa: E402
+
+from repro import obs  # noqa: E402
+from repro.obs.bench import (  # noqa: E402
+    KEY_COUNTER_PREFIXES,
+    BenchEntry,
+    BenchReport,
+)
+
+# Simulated-time counters are reported as ``sim_s`` rather than mixed
+# into the wall-clock counters.
+_SIM_COUNTER = "repro_sched_rank_busy_sim_seconds_total"
+
+
+def _counter_snapshot() -> Dict[str, float]:
+    """Key counters summed over labels, keyed by bare metric name."""
+    out: Dict[str, float] = {}
+    for m in obs.get_registry().snapshot():
+        name = m.get("name", "")
+        if m.get("type") != "counter":
+            continue
+        if not name.startswith(KEY_COUNTER_PREFIXES):
+            continue
+        out[name] = out.get(name, 0.0) + float(m.get("value", 0.0))
+    return out
+
+
+class _Collector:
+    """Pytest plugin: per-test wall time, outcome, and counter deltas."""
+
+    def __init__(self, report: BenchReport):
+        self.report = report
+        self._pre: Dict[str, Dict[str, float]] = {}
+
+    def pytest_runtest_setup(self, item) -> None:
+        # benchmarks may reset/disable the global registry internally
+        # (bench_obs_overhead does); re-arm before every test and clamp
+        # the deltas below.
+        obs.configure(enabled=True)
+        self._pre[item.nodeid] = _counter_snapshot()
+
+    def pytest_runtest_logreport(self, report) -> None:
+        if report.when == "setup" and report.skipped:
+            self.report.skipped.append(report.nodeid)
+            self._pre.pop(report.nodeid, None)
+            return
+        if report.when != "call":
+            return
+        obs.configure(enabled=True)
+        pre = self._pre.pop(report.nodeid, {})
+        post = _counter_snapshot()
+        deltas = {
+            name: round(value - pre.get(name, 0.0), 6)
+            for name, value in post.items()
+            if value - pre.get(name, 0.0) > 0.0
+        }
+        sim_s = deltas.pop(_SIM_COUNTER, None)
+        self.report.entries.append(
+            BenchEntry(
+                name=report.nodeid,
+                wall_s=float(report.duration),
+                ok=report.outcome == "passed",
+                sim_s=sim_s,
+                counters=deltas,
+            )
+        )
+
+
+def discover(filter_substr: str = "") -> List[Path]:
+    files = sorted(BENCH_DIR.glob("bench_*.py"))
+    if filter_substr:
+        files = [f for f in files if filter_substr in f.name]
+    return files
+
+
+def run_suite(
+    mode: str = "smoke",
+    filter_substr: str = "",
+    verbose: bool = False,
+) -> BenchReport:
+    report = BenchReport(mode=mode)
+    files = discover(filter_substr)
+    if not files:
+        raise SystemExit(f"no bench_*.py files match {filter_substr!r}")
+    obs.reset()
+    obs.configure(enabled=True)
+    extra = ["--benchmark-disable"] if mode == "smoke" else []
+    try:
+        for path in files:
+            collector = _Collector(report)
+            t0 = time.perf_counter()
+            rc = pytest.main(
+                [
+                    str(path),
+                    "-q",
+                    "--no-header",
+                    "-p",
+                    "no:cacheprovider",
+                    *extra,
+                ],
+                plugins=[collector],
+            )
+            dt = time.perf_counter() - t0
+            if rc == 5:  # nothing collected (e.g. everything deselected)
+                report.skipped.append(f"{path.name} (no tests collected)")
+            elif rc not in (0, 1):  # 1 = test failures, already per-entry
+                report.skipped.append(f"{path.name} (pytest exit code {rc})")
+            if verbose:
+                status = "ok" if rc == 0 else f"rc={rc}"
+                print(f"  {path.name:<38} {dt:7.2f}s  {status}")
+    finally:
+        obs.disable()
+        obs.reset()
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run the benchmark suite and emit a BENCH_<tag>.json"
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single-pass benchmarks (--benchmark-disable); the CI mode",
+    )
+    mode.add_argument(
+        "--full", action="store_true", help="calibrated pytest-benchmark runs"
+    )
+    parser.add_argument(
+        "--json",
+        default="",
+        metavar="FILE",
+        help="output path (default benchmarks/results/BENCH_<mode>.json)",
+    )
+    parser.add_argument(
+        "--filter", default="", help="only files whose name contains this"
+    )
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    mode_name = "full" if args.full else "smoke"
+    out = args.json or str(BENCH_DIR / "results" / f"BENCH_{mode_name}.json")
+    report = run_suite(
+        mode=mode_name, filter_substr=args.filter, verbose=args.verbose
+    )
+    report.save(out)
+    failed = [e.name for e in report.entries if not e.ok]
+    print(
+        f"BENCH file written to {out}: {len(report.entries)} benchmarks, "
+        f"{len(failed)} failed, {len(report.skipped)} skipped"
+    )
+    for name in failed:
+        print(f"  FAILED {name}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

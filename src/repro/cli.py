@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the workflows the paper demonstrates:
+Eight commands cover the workflows the paper demonstrates:
 
 * ``vqe``   — the Fig. 2 pipeline on a named molecule (optionally with
   frozen-core downfolding),
@@ -11,7 +11,12 @@ Six commands cover the workflows the paper demonstrates:
   surviving transient exchange faults via retries, a checkpointed
   ADAPT campaign surviving an injected rank crash, and a batch
   schedule degrading around a dead rank,
-* ``report`` — pretty-print a run report saved with ``--report-out``.
+* ``report`` — pretty-print a run report saved with ``--report-out``,
+* ``analyze`` — the performance observatory: per-rank timelines, the
+  communication matrix, load imbalance, and the critical path, read
+  from a saved run report or Chrome trace,
+* ``bench-diff`` — compare two ``BENCH_*.json`` files written by
+  ``benchmarks/run_suite.py`` and exit non-zero on regressions.
 
 Every run command accepts the observability flags:
 
@@ -465,6 +470,49 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.obs.perf import PerfAnalysis
+    from repro.obs.report import RunReport
+
+    with open(args.path) as fh:
+        payload = json.load(fh)
+    if "traceEvents" in payload:  # Chrome trace written with --trace-out
+        analysis = PerfAnalysis.from_chrome_trace(payload, top_k=args.top_k)
+        source = "chrome trace"
+    else:  # run report written with --report-out
+        report = RunReport.from_dict(payload)
+        if not report.perf:
+            print(
+                "no performance data in this report (profile a run that "
+                "exercises the HPC layer, or analyze its --trace-out file)",
+                file=sys.stderr,
+            )
+            return 1
+        analysis = PerfAnalysis.from_dict(report.perf)
+        source = "run report"
+    if args.json:
+        _emit_json(analysis.to_dict())
+        return 0
+    print(f"=== performance analysis ({source}: {args.path}) ===")
+    print(analysis.render(top_k=args.top_k))
+    return 0
+
+
+def _cmd_bench_diff(args: argparse.Namespace) -> int:
+    from repro.obs.bench import BenchReport, compare
+
+    old = BenchReport.load(args.old)
+    new = BenchReport.load(args.new)
+    diff = compare(
+        old, new, threshold=args.threshold, min_wall_s=args.min_wall_s
+    )
+    if args.json:
+        _emit_json(diff.to_dict())
+    else:
+        print(diff.render())
+    return 1 if diff.has_regressions else 0
+
+
 # -- observability plumbing ---------------------------------------------------
 
 
@@ -610,6 +658,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="dump the raw report JSON"
     )
     p_report.set_defaults(func=_cmd_report)
+
+    p_analyze = sub.add_parser(
+        "analyze",
+        help="per-rank timelines, comm matrix, and critical path from a "
+        "saved run report or Chrome trace",
+    )
+    p_analyze.add_argument(
+        "path", help="run-report JSON (--report-out) or Chrome trace (--trace-out)"
+    )
+    p_analyze.add_argument(
+        "--top-k", type=int, default=10, help="critical-path spans to list"
+    )
+    p_analyze.add_argument(
+        "--json", action="store_true", help="emit the analysis as JSON"
+    )
+    p_analyze.set_defaults(func=_cmd_analyze)
+
+    p_bdiff = sub.add_parser(
+        "bench-diff",
+        help="compare two BENCH_*.json files; exit 1 on regressions",
+    )
+    p_bdiff.add_argument("old", help="baseline BENCH_*.json")
+    p_bdiff.add_argument("new", help="candidate BENCH_*.json")
+    p_bdiff.add_argument(
+        "--threshold",
+        type=float,
+        default=1.25,
+        help="flag entries slower than baseline by this factor (default 1.25)",
+    )
+    p_bdiff.add_argument(
+        "--min-wall-s",
+        type=float,
+        default=0.05,
+        help="ignore entries where both sides are faster than this (noise floor)",
+    )
+    p_bdiff.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
+    )
+    p_bdiff.set_defaults(func=_cmd_bench_diff)
 
     return parser
 

@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro import obs
 from repro.ir.circuit import Circuit
 from repro.ir.pauli import PauliSum
 from repro.sim.expectation import (
@@ -61,6 +62,24 @@ class Estimator(ABC):
         if sim is None:
             sim = StatevectorSimulator(num_qubits, timer=self.timer)
             self._sims[num_qubits] = sim
+            if obs.enabled():
+                obs.inc(
+                    "repro_estimator_pool_misses_total",
+                    help="Simulator pool misses (new simulator allocated)",
+                    labels={"estimator": self.name},
+                )
+                obs.gauge_set(
+                    "repro_estimator_pool_size",
+                    len(self._sims),
+                    help="Simulators pooled per register width",
+                    labels={"estimator": self.name},
+                )
+        elif obs.enabled():
+            obs.inc(
+                "repro_estimator_pool_hits_total",
+                help="Simulator pool hits (reused pooled simulator)",
+                labels={"estimator": self.name},
+            )
         return sim
 
     @abstractmethod

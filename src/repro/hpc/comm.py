@@ -24,12 +24,14 @@ a simulated clock; retry traffic and recovery latency are surfaced in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.obs.perf import RANK_COMM_COUNTER
 from repro.hpc.faults import FaultInjector, TransientCommError
 from repro.hpc.perfmodel import SimulatedClock
 from repro.utils.retry import RetryPolicy
@@ -39,7 +41,14 @@ __all__ = ["CommStats", "SimComm"]
 
 @dataclass
 class CommStats:
-    """Aggregate communication counters."""
+    """Aggregate communication counters.
+
+    Next to the aggregates, a per-pair ledger (``"src->dst"`` string
+    keys, JSON-friendly) records every point-to-point message so the
+    performance observatory can reconstruct the rank x rank
+    communication matrix; ``pair_*`` totals always equal the
+    ``point_to_point_*`` aggregates.
+    """
 
     point_to_point_messages: int = 0
     point_to_point_bytes: int = 0
@@ -53,10 +62,22 @@ class CommStats:
     straggler_ops: int = 0
     retries: int = 0
     retry_backoff_s: float = 0.0
+    # rank x rank point-to-point ledger ("src->dst" -> count)
+    pair_messages: Dict[str, int] = field(default_factory=dict)
+    pair_bytes: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_bytes(self) -> int:
         return self.point_to_point_bytes + self.allreduce_bytes + self.gather_bytes
+
+    def record_message(self, src: int, dst: int, nbytes: int) -> None:
+        """Tally one point-to-point message in both the aggregate and
+        the per-pair ledger."""
+        self.point_to_point_messages += 1
+        self.point_to_point_bytes += nbytes
+        key = f"{src}->{dst}"
+        self.pair_messages[key] = self.pair_messages.get(key, 0) + 1
+        self.pair_bytes[key] = self.pair_bytes.get(key, 0) + nbytes
 
     def reset(self) -> None:
         self.point_to_point_messages = 0
@@ -70,6 +91,8 @@ class CommStats:
         self.straggler_ops = 0
         self.retries = 0
         self.retry_backoff_s = 0.0
+        self.pair_messages.clear()
+        self.pair_bytes.clear()
 
 
 class SimComm:
@@ -127,6 +150,25 @@ class SimComm:
         self.stats.retries += 1
         self.stats.retry_backoff_s += delay
 
+    def _attribute_rank_time(
+        self, seconds: float, participants: Optional[Sequence[int]] = None
+    ) -> "List[float]":
+        """Charge one collective's wall time to every participating
+        rank (all ranks block in the operation) via the rank-labelled
+        comm-seconds counter; returns the per-rank second vector for
+        span attribution.  Only called with observability enabled."""
+        ranks = range(self.num_ranks) if participants is None else participants
+        per_rank = [0.0] * self.num_ranks
+        for k in ranks:
+            per_rank[k] = seconds
+            obs.inc(
+                RANK_COMM_COUNTER,
+                seconds,
+                help="Wall seconds each rank spent inside comm collectives",
+                labels={"rank": str(k)},
+            )
+        return per_rank
+
     # -- point to point ---------------------------------------------------------
 
     def exchange(
@@ -144,8 +186,12 @@ class SimComm:
             return self._with_retry(lambda: self._exchange_attempt(buffers, partners))
         bytes_before = self.stats.point_to_point_bytes
         retries_before = self.stats.retries
-        with obs.span("comm.exchange", ranks=self.num_ranks) as sp:
+        with obs.span("comm.exchange", category="comm", ranks=self.num_ranks) as sp:
+            t0 = time.perf_counter()
             out = self._with_retry(lambda: self._exchange_attempt(buffers, partners))
+            dt = time.perf_counter() - t0
+        participants = [k for k, b in enumerate(buffers) if b is not None]
+        sp.set_attribute("rank_comm_s", self._attribute_rank_time(dt, participants))
         moved = self.stats.point_to_point_bytes - bytes_before
         sp.set_attribute("bytes", moved)
         sp.set_attribute("sim_time_s", self.clock.now)
@@ -178,8 +224,7 @@ class SimComm:
                 self.stats.corrupted_messages += 1
                 for k, (buf, p) in enumerate(zip(payloads, partners)):
                     if buf is not None and p != k:
-                        self.stats.point_to_point_messages += 1
-                        self.stats.point_to_point_bytes += buf.nbytes
+                        self.stats.record_message(k, p, buf.nbytes)
                 raise TransientCommError("checksum mismatch on exchanged slice")
         received: List[Optional[np.ndarray]] = [None] * self.num_ranks
         for k, (buf, p) in enumerate(zip(payloads, partners)):
@@ -191,8 +236,7 @@ class SimComm:
             if partners[p] != k:
                 raise ValueError(f"asymmetric partnership: {k}->{p}, {p}->{partners[p]}")
             received[p] = buf
-            self.stats.point_to_point_messages += 1
-            self.stats.point_to_point_bytes += buf.nbytes
+            self.stats.record_message(k, p, buf.nbytes)
         return received
 
     # -- collectives ----------------------------------------------------------------
@@ -204,8 +248,11 @@ class SimComm:
         if not obs.enabled():
             return self._with_retry(lambda: self._allreduce_attempt(values))
         bytes_before = self.stats.allreduce_bytes
-        with obs.span("comm.allreduce", ranks=self.num_ranks) as sp:
+        with obs.span("comm.allreduce", category="comm", ranks=self.num_ranks) as sp:
+            t0 = time.perf_counter()
             out = self._with_retry(lambda: self._allreduce_attempt(values))
+            dt = time.perf_counter() - t0
+        sp.set_attribute("rank_comm_s", self._attribute_rank_time(dt))
         self._record_allreduce_metrics(sp, bytes_before)
         return out
 
@@ -228,8 +275,11 @@ class SimComm:
         if not obs.enabled():
             return self._with_retry(lambda: self._allreduce_array_attempt(arrays))
         bytes_before = self.stats.allreduce_bytes
-        with obs.span("comm.allreduce_array", ranks=self.num_ranks) as sp:
+        with obs.span("comm.allreduce_array", category="comm", ranks=self.num_ranks) as sp:
+            t0 = time.perf_counter()
             out = self._with_retry(lambda: self._allreduce_array_attempt(arrays))
+            dt = time.perf_counter() - t0
+        sp.set_attribute("rank_comm_s", self._attribute_rank_time(dt))
         self._record_allreduce_metrics(sp, bytes_before)
         return out
 
@@ -257,8 +307,12 @@ class SimComm:
         """Concatenate per-rank slices on a (virtual) root."""
         if len(slices) != self.num_ranks:
             raise ValueError("one slice per rank required")
-        with obs.span("comm.gather", ranks=self.num_ranks):
+        with obs.span("comm.gather", category="comm", ranks=self.num_ranks) as sp:
+            t0 = time.perf_counter()
             out = np.concatenate(list(slices))
+            dt = time.perf_counter() - t0
+        if obs.enabled():
+            sp.set_attribute("rank_comm_s", self._attribute_rank_time(dt))
         self.stats.gather_calls += 1
         self.stats.gather_bytes += sum(s.nbytes for s in slices[1:])
         return out

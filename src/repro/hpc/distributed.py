@@ -26,11 +26,13 @@ allreduce (§4.2 direct method, distributed).
 from __future__ import annotations
 
 import math
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro import obs
+from repro.obs.perf import RANK_COMPUTE_COUNTER
 from repro.hpc.comm import SimComm
 from repro.hpc.faults import FaultInjector
 from repro.utils.retry import RetryPolicy
@@ -93,6 +95,9 @@ class DistributedStatevector:
         self.exchanges = 0
         self.gates_applied = 0
         self._swap_cursor = 0
+        # wall seconds each rank spent in local kernel work, filled
+        # only while observability is enabled (per-rank attribution)
+        self.rank_compute_s: List[float] = [0.0] * num_ranks
 
     # -- state management ------------------------------------------------------
 
@@ -103,6 +108,7 @@ class DistributedStatevector:
         self.layout = list(range(self.num_qubits))
         self.exchanges = 0
         self.gates_applied = 0
+        self.rank_compute_s = [0.0] * self.num_ranks
 
     def gather(self) -> np.ndarray:
         """Full statevector in *logical* qubit order (root-side check)."""
@@ -186,14 +192,20 @@ class DistributedStatevector:
         L = self.local_qubits
         m = gate.to_matrix()
         if len(phys) == 1:
-            for s in self.slices:
-                kernels.apply_1q(s, m, phys[0], L)
+            kernel = lambda s: kernels.apply_1q(s, m, phys[0], L)  # noqa: E731
         elif len(phys) == 2:
-            for s in self.slices:
-                kernels.apply_2q(s, m, phys[0], phys[1], L)
+            kernel = lambda s: kernels.apply_2q(s, m, phys[0], phys[1], L)  # noqa: E731
+        else:
+            kernel = lambda s: kernels.apply_kq_dense(s, m, phys, L)  # noqa: E731
+        if obs.enabled():
+            # per-rank attribution: time each rank's slice separately
+            for k, s in enumerate(self.slices):
+                t0 = time.perf_counter()
+                kernel(s)
+                self.rank_compute_s[k] += time.perf_counter() - t0
         else:
             for s in self.slices:
-                kernels.apply_kq_dense(s, m, phys, L)
+                kernel(s)
 
     def run(self, circuit: Circuit, reset: bool = True) -> None:
         if circuit.num_qubits != self.num_qubits:
@@ -203,8 +215,10 @@ class DistributedStatevector:
         if reset:
             self.reset()
         exchanges_before = self.exchanges
+        compute_before = list(self.rank_compute_s)
         with obs.span(
             "dsv.run_circuit",
+            category="compute",
             gates=len(circuit.gates),
             qubits=self.num_qubits,
             ranks=self.num_ranks,
@@ -212,6 +226,7 @@ class DistributedStatevector:
             for g in circuit.gates:
                 self.apply_gate(g)
         if obs.enabled():
+            self._flush_rank_compute(sp, compute_before)
             sp.set_attribute("exchanges", self.exchanges - exchanges_before)
             obs.inc(
                 "repro_dsv_gates_total",
@@ -223,6 +238,23 @@ class DistributedStatevector:
                 self.exchanges - exchanges_before,
                 help="Slice exchanges performed by the distributed simulator",
             )
+
+    def _flush_rank_compute(self, sp, compute_before: Sequence[float]) -> None:
+        """Attach the per-rank compute-second delta to the enclosing
+        span and the rank-labelled counters (observability enabled)."""
+        delta = [
+            now - before
+            for now, before in zip(self.rank_compute_s, compute_before)
+        ]
+        sp.set_attribute("rank_compute_s", delta)
+        for k, dt in enumerate(delta):
+            if dt > 0.0:
+                obs.inc(
+                    RANK_COMPUTE_COUNTER,
+                    dt,
+                    help="Wall seconds each rank spent in local kernels",
+                    labels={"rank": str(k)},
+                )
 
     # -- observation -----------------------------------------------------------------------
 
@@ -243,13 +275,16 @@ class DistributedStatevector:
         if observable.num_qubits != self.num_qubits:
             raise ValueError("observable width mismatch")
         exchanges_before = self.exchanges
+        compute_before = list(self.rank_compute_s)
         with obs.span(
             "dsv.expectation",
+            category="compute",
             terms=observable.num_terms,
             ranks=self.num_ranks,
         ) as sp:
             value = self._expectation_impl(observable)
         if obs.enabled():
+            self._flush_rank_compute(sp, compute_before)
             sp.set_attribute("exchanges", self.exchanges - exchanges_before)
             obs.inc(
                 "repro_dsv_expectations_total",
@@ -308,8 +343,10 @@ class DistributedStatevector:
                     base_w[t] = coeff * I_POW[popcount(px & pz) % 4]
                     gz_masks[t] = pz >> L
                 compiled.append((src, sign_rows, base_w, gz_masks))
+            timing = obs.enabled()
             per_rank = []
             for k in range(self.num_ranks):
+                t0 = time.perf_counter() if timing else 0.0
                 acc = 0.0 + 0.0j
                 mine = self.slices[k]
                 theirs = partner_slices[k]
@@ -320,6 +357,8 @@ class DistributedStatevector:
                     diag = weights @ sign_rows
                     acc += np.vdot(mine, theirs[src] * diag)
                 per_rank.append(acc)
+                if timing:
+                    self.rank_compute_s[k] += time.perf_counter() - t0
             total += self.comm.allreduce(per_rank)
         if abs(total.imag) > 1e-8 * max(1.0, abs(total.real)):
             raise ValueError("non-Hermitian observable")

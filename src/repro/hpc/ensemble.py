@@ -88,6 +88,10 @@ class EnsembleExecutor:
         if obs.enabled():
             sp.set_attribute("makespan_s", schedule.makespan)
             sp.set_attribute("speedup", schedule.speedup)
+            sp.set_attribute(
+                "rank_busy_sim_s",
+                {str(k): t for k, t in sorted(schedule.rank_times.items())},
+            )
             obs.inc(
                 "repro_ensemble_evaluations_total",
                 len(circuits),

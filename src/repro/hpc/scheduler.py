@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro import obs
+from repro.obs.perf import RANK_SCHED_BUSY_COUNTER
 from repro.hpc.cluster import Machine, get_machine
 from repro.hpc.perfmodel import estimate_circuit_time
 from repro.ir.circuit import Circuit
@@ -118,6 +119,7 @@ class BatchScheduler:
                 len(jobs),
                 help="Jobs placed by the LPT batch scheduler",
             )
+            self._emit_rank_metrics(rank_times)
         failed = [
             k for k in range(self.num_ranks) if k not in set(ranks)
         ]
@@ -128,6 +130,24 @@ class BatchScheduler:
             serial_time=serial,
             failed_ranks=failed,
         )
+
+    @staticmethod
+    def _emit_rank_metrics(
+        rank_times: Dict[int, float],
+        previous: Optional[Dict[int, float]] = None,
+    ) -> None:
+        """Per-rank simulated busy seconds, tagged with the rank id.
+        ``previous`` subtracts loads already emitted (rescheduling adds
+        on top of an existing schedule's counters)."""
+        for k, busy in rank_times.items():
+            delta = busy - (previous or {}).get(k, 0.0)
+            if delta > 0.0:
+                obs.inc(
+                    RANK_SCHED_BUSY_COUNTER,
+                    delta,
+                    help="Simulated seconds of scheduled work per rank",
+                    labels={"rank": str(k)},
+                )
 
     @staticmethod
     def _lpt_fill(
@@ -176,6 +196,7 @@ class BatchScheduler:
         }
         if not assignments:
             raise ValueError("no surviving ranks to reschedule on")
+        previous = dict(rank_times)
         with obs.span(
             "sched.reschedule_after_failure",
             dead_rank=dead_rank,
@@ -190,6 +211,7 @@ class BatchScheduler:
                 len(orphans),
                 help="Orphaned jobs re-placed after a rank failure",
             )
+            self._emit_rank_metrics(rank_times, previous)
         makespan = max(rank_times.values()) if rank_times else 0.0
         # work finished on the dead rank before it died still bounds the
         # makespan from below

@@ -7,7 +7,11 @@ Zero-dependency tracing + metrics + run reports for the whole stack:
 * :mod:`repro.obs.metrics` — process-wide counters / gauges /
   histograms with Prometheus text exposition and JSONL snapshots,
 * :mod:`repro.obs.report` — the serializable :class:`RunReport`
-  aggregating spans, metrics, and the domain ledgers.
+  aggregating spans, metrics, and the domain ledgers,
+* :mod:`repro.obs.perf` — the performance observatory: per-rank
+  attribution, communication matrix, load imbalance, critical path,
+* :mod:`repro.obs.bench` — schema-versioned benchmark reports and the
+  regression comparator behind ``repro bench-diff``.
 
 The module-level helpers below are the *instrumentation API* the hot
 paths use.  They route to one process-global tracer/registry behind a
@@ -31,12 +35,21 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.obs.bench import BenchDiff, BenchEntry, BenchReport, compare
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.perf import (
+    CommMatrix,
+    CriticalPath,
+    ImbalanceStats,
+    PerfAnalysis,
+    RankTimeline,
+    critical_path,
 )
 from repro.obs.report import RunReport, as_plain_dict
 from repro.obs.trace import NULL_SPAN, SpanRecord, Tracer
@@ -51,6 +64,16 @@ __all__ = [
     "DEFAULT_BUCKETS",
     "RunReport",
     "as_plain_dict",
+    "PerfAnalysis",
+    "RankTimeline",
+    "ImbalanceStats",
+    "CommMatrix",
+    "CriticalPath",
+    "critical_path",
+    "BenchReport",
+    "BenchEntry",
+    "BenchDiff",
+    "compare",
     "configure",
     "enable",
     "disable",

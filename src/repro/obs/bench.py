@@ -1,0 +1,309 @@
+"""Continuous-benchmark artifacts: the BENCH file schema and comparator.
+
+``benchmarks/run_suite.py`` runs every benchmark and serializes one
+schema-versioned ``BENCH_<tag>.json`` per invocation; this module owns
+that schema (so the CLI, tests, and CI never parse ad-hoc JSON) and
+the regression comparator behind ``repro bench-diff``.
+
+A BENCH file records:
+
+* ``machine`` — hostname, platform, Python, CPU count, git sha: enough
+  to know whether two files are comparable at all;
+* one :class:`BenchEntry` per benchmark test — wall seconds, outcome,
+  and the delta of key observability counters the run generated
+  (simulated comm seconds, bytes moved, gates applied, ...);
+* the suite ``mode`` (smoke or full) — comparing a smoke file against
+  a full file is refused.
+
+The comparator flags a regression when a benchmark's wall time grows
+beyond ``threshold`` times the old value *and* the benchmark is slow
+enough to measure (``min_wall_s``) — sub-millisecond tests are pure
+noise across machines.  Missing and new benchmarks are reported but
+are not regressions.
+
+Like every ``repro.obs`` module this is a leaf: standard library only.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "BenchEntry",
+    "BenchReport",
+    "BenchDiff",
+    "machine_info",
+    "compare",
+]
+
+BENCH_SCHEMA_VERSION = 1
+
+# Counter families worth carrying into BENCH files when they moved
+# during a benchmark (the "key counters" of the harness).
+KEY_COUNTER_PREFIXES = (
+    "repro_comm_",
+    "repro_dsv_",
+    "repro_sched_",
+    "repro_ensemble_",
+    "repro_rank_",
+    "repro_sim_",
+    "repro_compiled_",
+    "repro_estimator_",
+)
+
+
+def machine_info() -> Dict[str, Any]:
+    """Host fingerprint embedded in every BENCH file."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = ""
+    return {
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 0,
+        "git_sha": sha,
+    }
+
+
+@dataclass
+class BenchEntry:
+    """One benchmark's measurement."""
+
+    name: str
+    wall_s: float
+    ok: bool = True
+    sim_s: Optional[float] = None  # simulated seconds, when the run advanced a clock
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "ok": self.ok,
+            "counters": dict(self.counters),
+        }
+        if self.sim_s is not None:
+            out["sim_s"] = self.sim_s
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Mapping[str, Any]) -> "BenchEntry":
+        return cls(
+            name=str(d["name"]),
+            wall_s=float(d["wall_s"]),
+            ok=bool(d.get("ok", True)),
+            sim_s=(None if d.get("sim_s") is None else float(d["sim_s"])),
+            counters={str(k): float(v) for k, v in d.get("counters", {}).items()},
+        )
+
+
+@dataclass
+class BenchReport:
+    """The full suite result — what one ``BENCH_<tag>.json`` holds."""
+
+    mode: str = "smoke"
+    machine: Dict[str, Any] = field(default_factory=machine_info)
+    entries: List[BenchEntry] = field(default_factory=list)
+    skipped: List[str] = field(default_factory=list)
+    created_unix: float = 0.0
+    schema_version: int = BENCH_SCHEMA_VERSION
+
+    def entry(self, name: str) -> Optional[BenchEntry]:
+        for e in self.entries:
+            if e.name == name:
+                return e
+        return None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "mode": self.mode,
+            "created_unix": self.created_unix,
+            "machine": dict(self.machine),
+            "entries": [e.to_dict() for e in self.entries],
+            "skipped": list(self.skipped),
+        }
+
+    def save(self, path: str) -> None:
+        if not self.created_unix:
+            self.created_unix = time.time()
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "BenchReport":
+        version = payload.get("schema_version")
+        if version != BENCH_SCHEMA_VERSION:
+            raise ValueError(f"unsupported BENCH schema version: {version!r}")
+        return cls(
+            mode=str(payload.get("mode", "smoke")),
+            machine=dict(payload.get("machine", {})),
+            entries=[BenchEntry.from_dict(e) for e in payload.get("entries", [])],
+            skipped=[str(s) for s in payload.get("skipped", [])],
+            created_unix=float(payload.get("created_unix", 0.0)),
+            schema_version=int(version),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "BenchReport":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+@dataclass
+class BenchDelta:
+    """One benchmark compared across two BENCH files."""
+
+    name: str
+    old_wall_s: float
+    new_wall_s: float
+    ratio: float
+    regressed: bool
+    below_floor: bool  # too fast to judge on either side
+
+    @property
+    def improved(self) -> bool:
+        return not self.below_floor and self.ratio < 1.0
+
+
+@dataclass
+class BenchDiff:
+    """Comparator output: per-benchmark deltas plus membership drift."""
+
+    threshold: float
+    min_wall_s: float
+    deltas: List[BenchDelta] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)  # in old, not in new
+    added: List[str] = field(default_factory=list)  # in new, not in old
+    failed: List[str] = field(default_factory=list)  # ok in old, failed in new
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions or self.failed)
+
+    def render(self) -> str:
+        lines = [
+            f"benchmark comparison (threshold {self.threshold:.2f}x, "
+            f"floor {self.min_wall_s * 1e3:.0f} ms)"
+        ]
+        lines.append(
+            f"  {'benchmark':<58} {'old_s':>9} {'new_s':>9} {'ratio':>7}"
+        )
+        for d in sorted(self.deltas, key=lambda d: -d.ratio):
+            flag = "  REGRESSED" if d.regressed else (
+                "  (below floor)" if d.below_floor else ""
+            )
+            lines.append(
+                f"  {d.name:<58} {d.old_wall_s:>9.4f} {d.new_wall_s:>9.4f} "
+                f"{d.ratio:>6.2f}x{flag}"
+            )
+        for name in self.failed:
+            lines.append(f"  {name}: FAILED in the new run")
+        for name in self.missing:
+            lines.append(f"  {name}: missing from the new run")
+        for name in self.added:
+            lines.append(f"  {name}: new benchmark (no baseline)")
+        n_reg = len(self.regressions) + len(self.failed)
+        lines.append(
+            f"  => {n_reg} regression(s), "
+            f"{sum(1 for d in self.deltas if d.improved)} improvement(s), "
+            f"{len(self.deltas)} compared"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "min_wall_s": self.min_wall_s,
+            "has_regressions": self.has_regressions,
+            "deltas": [
+                {
+                    "name": d.name,
+                    "old_wall_s": d.old_wall_s,
+                    "new_wall_s": d.new_wall_s,
+                    "ratio": d.ratio,
+                    "regressed": d.regressed,
+                    "below_floor": d.below_floor,
+                }
+                for d in self.deltas
+            ],
+            "missing": list(self.missing),
+            "added": list(self.added),
+            "failed": list(self.failed),
+        }
+
+
+def compare(
+    old: BenchReport,
+    new: BenchReport,
+    threshold: float = 1.25,
+    min_wall_s: float = 0.05,
+) -> BenchDiff:
+    """Diff two BENCH reports.
+
+    A benchmark regresses when ``new_wall > threshold * old_wall`` and
+    at least one side is above ``min_wall_s``.  Files from different
+    modes (smoke vs full) are not comparable.
+    """
+    if threshold <= 1.0:
+        raise ValueError("threshold must be > 1.0")
+    if old.mode != new.mode:
+        raise ValueError(
+            f"cannot compare {old.mode!r} against {new.mode!r} BENCH files"
+        )
+    old_names = {e.name for e in old.entries}
+    new_names = {e.name for e in new.entries}
+    diff = BenchDiff(
+        threshold=threshold,
+        min_wall_s=min_wall_s,
+        missing=sorted(old_names - new_names),
+        added=sorted(new_names - old_names),
+    )
+    for old_entry in old.entries:
+        new_entry = new.entry(old_entry.name)
+        if new_entry is None:
+            continue
+        if old_entry.ok and not new_entry.ok:
+            diff.failed.append(old_entry.name)
+            continue
+        below = max(old_entry.wall_s, new_entry.wall_s) < min_wall_s
+        ratio = (
+            new_entry.wall_s / old_entry.wall_s if old_entry.wall_s > 0 else 1.0
+        )
+        diff.deltas.append(
+            BenchDelta(
+                name=old_entry.name,
+                old_wall_s=old_entry.wall_s,
+                new_wall_s=new_entry.wall_s,
+                ratio=ratio,
+                regressed=(not below and ratio > threshold),
+                below_floor=below,
+            )
+        )
+    return diff

@@ -8,6 +8,9 @@ JSON-able object:
 * the pre-existing domain ledgers — ``CommStats`` byte counters,
   ``RetryStats``, the ``FaultLedger``, the cache ``GateLedger`` and
   ``PostAnsatzCache`` accounting — normalized into plain dicts,
+* the performance analysis (``repro.obs.perf``): per-rank timelines,
+  the rank-to-rank communication matrix, load-imbalance statistics,
+  and the critical path through the span tree,
 * convergence traces (per-iteration energy, gradient norm, error),
 * free-form ``meta`` (command line, molecule, qubit count, ...).
 
@@ -16,9 +19,12 @@ The report is attached to driver results (``VQEResult.report``,
 campaign checkpoints, and written/pretty-printed by the CLI
 (``--report-out`` / ``repro report``).
 
-This module imports nothing from the rest of ``repro`` — ledgers are
-converted by duck typing, so the observability layer stays a leaf
-dependency every other layer may import.
+This module imports nothing from ``repro`` outside ``repro.obs`` —
+ledgers are converted by duck typing, so the observability layer stays
+a leaf dependency every other layer may import.
+
+Version history: v1 had no ``perf`` section; v2 added it.  Loading a
+v1 payload yields an empty ``perf``.
 """
 
 from __future__ import annotations
@@ -32,7 +38,8 @@ from typing import Any, Dict, List, Optional
 
 __all__ = ["RunReport", "as_plain_dict"]
 
-REPORT_VERSION = 1
+REPORT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
 
 
 def as_plain_dict(obj: Any) -> Dict[str, Any]:
@@ -81,6 +88,7 @@ class RunReport:
     comm: Dict[str, Any] = field(default_factory=dict)
     cache: Dict[str, Any] = field(default_factory=dict)
     faults: Dict[str, Any] = field(default_factory=dict)
+    perf: Dict[str, Any] = field(default_factory=dict)
     convergence: Dict[str, List[float]] = field(default_factory=dict)
     wall_time_s: Optional[float] = None
     created_unix: float = 0.0
@@ -118,6 +126,13 @@ class RunReport:
                 tracer.totals().items(), key=lambda kv: -kv[1][0]
             )
         ]
+        from repro.obs.perf import PerfAnalysis  # local: sibling leaf module
+
+        analysis = PerfAnalysis.from_sources(
+            spans=getattr(tracer, "spans", []),
+            metrics=registry.snapshot(),
+            comm=as_plain_dict(comm_stats),
+        )
         return cls(
             meta=dict(meta or {}),
             spans=spans,
@@ -125,6 +140,7 @@ class RunReport:
             comm=as_plain_dict(comm_stats),
             cache=as_plain_dict(cache_stats),
             faults=as_plain_dict(fault_ledger),
+            perf={} if analysis.is_empty else analysis.to_dict(),
             convergence={
                 k: [float(x) for x in v] for k, v in (convergence or {}).items()
             },
@@ -145,6 +161,7 @@ class RunReport:
             "comm": _jsonable(self.comm),
             "cache": _jsonable(self.cache),
             "faults": _jsonable(self.faults),
+            "perf": _jsonable(self.perf),
             "convergence": _jsonable(self.convergence),
         }
 
@@ -160,7 +177,7 @@ class RunReport:
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "RunReport":
         version = payload.get("version")
-        if version != REPORT_VERSION:
+        if version not in _READABLE_VERSIONS:
             raise ValueError(f"unsupported run-report version: {version!r}")
         return cls(
             meta=dict(payload.get("meta", {})),
@@ -169,11 +186,13 @@ class RunReport:
             comm=dict(payload.get("comm", {})),
             cache=dict(payload.get("cache", {})),
             faults=dict(payload.get("faults", {})),
+            perf=dict(payload.get("perf", {})),
             convergence={
                 k: list(v) for k, v in payload.get("convergence", {}).items()
             },
             wall_time_s=payload.get("wall_time_s"),
             created_unix=float(payload.get("created_unix", 0.0)),
+            version=int(version),
         )
 
     @classmethod
@@ -221,6 +240,12 @@ class RunReport:
                 if isinstance(v, dict):
                     v = ", ".join(f"{a}={b}" for a, b in sorted(v.items()))
                 lines.append(f"  {k:22s} {v}")
+        if self.perf:
+            from repro.obs.perf import PerfAnalysis
+
+            rendered = PerfAnalysis.from_dict(self.perf).render()
+            if rendered and "(no performance data" not in rendered:
+                lines.append(rendered)
         counters = [m for m in self.metrics if m.get("type") == "counter"]
         if counters:
             lines.append("-- counters --")

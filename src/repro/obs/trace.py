@@ -212,6 +212,9 @@ class Tracer:
             if s.sim_duration_s is not None:
                 args["sim_start_s"] = s.sim_start_s
                 args["sim_duration_s"] = s.sim_duration_s
+            # sid/psid are repro extensions (ignored by Perfetto): they
+            # let repro.obs.perf rebuild the span tree from a saved
+            # trace for offline critical-path analysis.
             events.append(
                 {
                     "name": s.name,
@@ -221,6 +224,8 @@ class Tracer:
                     "dur": s.duration_us,
                     "pid": pid,
                     "tid": s.thread_id,
+                    "sid": s.span_id,
+                    "psid": s.parent_id,
                     "args": args,
                 }
             )

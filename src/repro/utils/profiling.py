@@ -1,9 +1,15 @@
 """Lightweight timing utilities.
 
-The optimization workflow for numerical code is measure-first (profile,
-then optimize the bottleneck).  ``Timer`` gives a cheap accumulating
-stopwatch that the simulator and VQE drivers use to report where time
-goes without pulling in a full profiler.
+.. deprecated::
+    ``Timer`` predates the unified observability layer and is kept as a
+    thin shim over it: every ``Timer.section`` now also opens a
+    ``repro.obs`` span (category ``"timer"``) when observability is
+    enabled, so legacy call sites show up in traces, run reports, and
+    ``repro analyze`` alongside natively instrumented code.  New code
+    should call :func:`repro.obs.span` directly; ``Timer``-accepting
+    signatures (``StatevectorSimulator(timer=...)``, estimators) keep
+    working and still fill ``totals``/``counts`` for callers that read
+    them.
 """
 
 from __future__ import annotations
@@ -13,12 +19,14 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Iterator
 
+from repro import obs
+
 __all__ = ["Timer", "timed"]
 
 
 @dataclass
 class Timer:
-    """Accumulating named stopwatch.
+    """Accumulating named stopwatch (legacy shim over ``repro.obs``).
 
     Example
     -------
@@ -36,7 +44,10 @@ class Timer:
     def section(self, name: str) -> Iterator[None]:
         start = time.perf_counter()
         try:
-            yield
+            # mirror the section into the global tracer (no-op span when
+            # observability is disabled)
+            with obs.span(name, category="timer"):
+                yield
         finally:
             elapsed = time.perf_counter() - start
             self.totals[name] = self.totals.get(name, 0.0) + elapsed

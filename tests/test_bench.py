@@ -1,0 +1,200 @@
+"""Tests for the benchmark-report schema, the regression comparator,
+``repro bench-diff``, and the ``benchmarks/run_suite.py`` harness."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.bench import (
+    BENCH_SCHEMA_VERSION,
+    BenchEntry,
+    BenchReport,
+    compare,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+def _report(mode="smoke", **walls):
+    return BenchReport(
+        mode=mode,
+        entries=[BenchEntry(name=n, wall_s=w) for n, w in walls.items()],
+    )
+
+
+class TestBenchSchema:
+    def test_save_load_round_trip(self, tmp_path):
+        rep = _report(fast=0.01, slow=2.5)
+        rep.entries[1].sim_s = 12.5
+        rep.entries[1].counters = {"repro_sim_gates_total": 420.0}
+        rep.skipped.append("bench_x.py (no tests collected)")
+        path = tmp_path / "BENCH_t.json"
+        rep.save(str(path))
+        loaded = BenchReport.load(str(path))
+        assert loaded.schema_version == BENCH_SCHEMA_VERSION
+        assert loaded.mode == "smoke"
+        assert loaded.entry("slow").sim_s == 12.5
+        assert loaded.entry("slow").counters == {"repro_sim_gates_total": 420.0}
+        assert loaded.skipped == rep.skipped
+        assert set(loaded.machine) >= {
+            "hostname",
+            "platform",
+            "python",
+            "cpu_count",
+            "git_sha",
+        }
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_bad.json"
+        payload = _report(a=1.0).to_dict()
+        payload["schema_version"] = 99
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="schema version"):
+            BenchReport.load(str(path))
+
+
+class TestComparator:
+    def test_identical_reports_have_no_regressions(self):
+        diff = compare(_report(a=1.0, b=0.2), _report(a=1.0, b=0.2))
+        assert not diff.has_regressions
+        assert len(diff.deltas) == 2
+
+    def test_synthetic_regression_is_flagged(self):
+        diff = compare(_report(a=1.0), _report(a=1.6), threshold=1.5)
+        assert diff.has_regressions
+        assert diff.regressions[0].name == "a"
+        assert diff.regressions[0].ratio == pytest.approx(1.6)
+
+    def test_noise_floor_suppresses_fast_tests(self):
+        # 3x slower but both sides under the floor: noise, not regression
+        diff = compare(
+            _report(a=0.001), _report(a=0.003), threshold=1.5, min_wall_s=0.05
+        )
+        assert not diff.has_regressions
+        assert diff.deltas[0].below_floor
+
+    def test_new_failure_counts_as_regression(self):
+        old = _report(a=1.0)
+        new = _report(a=1.0)
+        new.entries[0].ok = False
+        diff = compare(old, new)
+        assert diff.has_regressions
+        assert diff.failed == ["a"]
+
+    def test_membership_drift_reported_not_regressed(self):
+        diff = compare(_report(a=1.0, gone=1.0), _report(a=1.0, new=1.0))
+        assert diff.missing == ["gone"]
+        assert diff.added == ["new"]
+        assert not diff.has_regressions
+
+    def test_mode_mismatch_refused(self):
+        with pytest.raises(ValueError, match="smoke"):
+            compare(_report(mode="smoke", a=1.0), _report(mode="full", a=1.0))
+
+    def test_threshold_must_exceed_one(self):
+        with pytest.raises(ValueError, match="threshold"):
+            compare(_report(a=1.0), _report(a=1.0), threshold=1.0)
+
+    def test_improvements_counted(self):
+        diff = compare(_report(a=2.0), _report(a=1.0))
+        assert diff.deltas[0].improved
+        assert "1 improvement(s)" in diff.render()
+
+
+class TestBenchDiffCLI:
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        _report(a=1.0, b=0.5).save(str(old))
+        _report(a=1.02, b=0.49).save(str(new))
+        rc = main(["bench-diff", str(old), str(new)])
+        assert rc == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_exit_nonzero_on_injected_regression(self, tmp_path, capsys):
+        """The acceptance gate: a synthetic slowdown must fail the diff."""
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        _report(a=1.0, b=0.5).save(str(old))
+        _report(a=2.7, b=0.5).save(str(new))  # a regressed 2.7x
+        rc = main(["bench-diff", str(old), str(new), "--threshold", "2.0"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        assert "1 regression(s)" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        _report(a=1.0).save(str(old))
+        _report(a=5.0).save(str(new))
+        rc = main(["bench-diff", str(old), str(new), "--json"])
+        assert rc == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["has_regressions"] is True
+        assert payload["deltas"][0]["ratio"] == pytest.approx(5.0)
+
+
+class TestRunSuiteHarness:
+    @pytest.fixture(scope="class")
+    def run_suite_mod(self):
+        path = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "run_suite.py"
+        )
+        spec = importlib.util.spec_from_file_location("run_suite", path)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        return mod
+
+    def test_discovery_finds_every_bench_file(self, run_suite_mod):
+        names = {p.name for p in run_suite_mod.discover()}
+        assert "bench_fig1_scaling.py" in names
+        assert "bench_obs_overhead.py" in names
+        assert len(names) >= 14
+        assert run_suite_mod.discover("fig1") == [
+            run_suite_mod.BENCH_DIR / "bench_fig1_scaling.py"
+        ]
+
+    def test_smoke_run_emits_valid_bench_file(self, run_suite_mod, tmp_path):
+        report = run_suite_mod.run_suite(mode="smoke", filter_substr="fig1")
+        assert report.mode == "smoke"
+        assert report.entries, "fig1 benchmarks collected nothing"
+        assert all(e.ok for e in report.entries)
+        assert all(e.wall_s >= 0.0 for e in report.entries)
+        assert all(
+            e.name.startswith("benchmarks/bench_fig1_scaling.py::")
+            for e in report.entries
+        )
+        out = tmp_path / "BENCH_ci.json"
+        report.save(str(out))
+        loaded = BenchReport.load(str(out))
+        assert [e.name for e in loaded.entries] == [
+            e.name for e in report.entries
+        ]
+        # the harness tears the global observability state back down
+        assert not obs.enabled()
+
+    def test_committed_baseline_is_loadable_and_smoke(self):
+        baseline = (
+            Path(__file__).resolve().parent.parent
+            / "benchmarks"
+            / "results"
+            / "BENCH_baseline.json"
+        )
+        report = BenchReport.load(str(baseline))
+        assert report.mode == "smoke"
+        assert len(report.entries) >= 30
+        assert all(e.ok for e in report.entries)

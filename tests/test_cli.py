@@ -179,3 +179,89 @@ class TestCLIObservability:
         captured = capsys.readouterr()
         json.loads(captured.out)  # stdout is pure JSON
         assert "-- spans (slowest first) --" in captured.err
+
+
+class TestCLIAnalyze:
+    """The observatory CLI over a 4-rank distributed ADAPT campaign."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_global_obs(self):
+        obs.disable()
+        obs.reset()
+        yield
+        obs.disable()
+        obs.reset()
+
+    @pytest.fixture()
+    def adapt_artifacts(self, tmp_path, capsys):
+        """Trace + report from `repro faults` (distributed run + 4-rank
+        checkpointed ADAPT campaign)."""
+        trace = tmp_path / "trace.json"
+        report = tmp_path / "report.json"
+        rc = main(
+            [
+                "faults", "h2", "--ranks", "4", "--seed", "7",
+                "--max-iterations", "2",
+                "--trace-out", str(trace),
+                "--report-out", str(report),
+            ]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        return trace, report
+
+    def test_analyze_trace_shows_observatory_sections(
+        self, adapt_artifacts, capsys
+    ):
+        trace, _ = adapt_artifacts
+        rc = main(["analyze", str(trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "performance analysis (chrome trace" in out
+        assert "-- per-rank timeline (wall seconds) --" in out
+        assert "-- critical path (root -> leaf) --" in out
+        for rank in range(4):
+            assert f"  {rank} " in out or f" {rank} " in out
+
+    def test_analyze_report_matches_commstats(self, adapt_artifacts, capsys):
+        """Acceptance: the comm matrix must agree with the CommStats
+        totals embedded in the same report, and the critical path must
+        fit inside its root span."""
+        _, report = adapt_artifacts
+        rc = main(["analyze", str(report), "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        saved = RunReport.load(str(report))
+        matrix = payload["comm_matrix"]
+        total_msgs = sum(sum(row) for row in matrix["messages"])
+        total_bytes = sum(sum(row) for row in matrix["bytes"])
+        assert total_msgs == saved.comm["point_to_point_messages"]
+        assert total_bytes == saved.comm["point_to_point_bytes"]
+        assert total_msgs > 0
+        entries = payload["critical_path"]["entries"]
+        assert entries
+        root_duration = entries[0]["duration_us"]
+        for entry in entries:
+            assert entry["duration_us"] <= root_duration + 1e-6
+            assert 0.0 <= entry["self_us"] <= entry["duration_us"] + 1e-6
+
+    def test_analyze_report_without_perf_fails_cleanly(
+        self, tmp_path, capsys
+    ):
+        report = tmp_path / "r.json"
+        main(["counts", "--min-qubits", "12", "--max-qubits", "12",
+              "--report-out", str(report)])
+        capsys.readouterr()
+        rc = main(["analyze", str(report)])
+        assert rc == 1
+        assert "no performance data" in capsys.readouterr().err
+
+    def test_report_command_renders_rank_sections(
+        self, adapt_artifacts, capsys
+    ):
+        _, report = adapt_artifacts
+        rc = main(["report", str(report)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "-- per-rank timeline (wall seconds) --" in out
+        assert "-- communication matrix" in out

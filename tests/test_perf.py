@@ -1,0 +1,325 @@
+"""Tests for the performance observatory (``repro.obs.perf``).
+
+Covers the critical-path invariants (property-based), the comm-matrix
+consistency guarantee against ``CommStats``, per-rank attribution from
+a real 4-rank distributed run, the Chrome-trace round trip, and the
+per-rank sections of ``RunReport.summary``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.hpc.distributed import DistributedStatevector
+from repro.ir.circuit import Circuit
+from repro.ir.pauli import PauliSum
+from repro.obs.perf import (
+    CommMatrix,
+    ImbalanceStats,
+    PerfAnalysis,
+    RankTimeline,
+    _fill_wait,
+    critical_path,
+    span_self_times,
+    spans_from_chrome_trace,
+)
+from repro.obs.trace import SpanRecord
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+# -- span-forest generator for the property tests -----------------------------
+
+
+@st.composite
+def span_forests(draw):
+    """Random span forests where every span's duration is its own
+    weight plus its children's durations — so self time equals the
+    drawn weight by construction."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    parents = [None]
+    for i in range(1, n):
+        parents.append(
+            draw(st.one_of(st.none(), st.integers(min_value=0, max_value=i - 1)))
+        )
+    # durations bottom-up: children have higher indices than parents
+    durations = list(weights)
+    for i in range(n - 1, 0, -1):
+        if parents[i] is not None:
+            durations[parents[i]] += durations[i]
+    spans = [
+        SpanRecord(
+            span_id=i,
+            parent_id=parents[i],
+            name=f"s{i}",
+            category="test",
+            start_us=0.0,
+            duration_us=durations[i],
+            thread_id=0,
+            depth=0,
+        )
+        for i in range(n)
+    ]
+    return spans, weights
+
+
+class TestCriticalPathProperties:
+    @given(span_forests())
+    @settings(max_examples=60, deadline=None)
+    def test_path_duration_bounded_by_root(self, forest):
+        spans, _ = forest
+        path = critical_path(spans)
+        roots = [s for s in spans if s.parent_id is None]
+        assert path.duration_us <= max(s.duration_us for s in roots) + 1e-9
+        # and every entry fits inside the root entry
+        for e in path.entries:
+            assert e.duration_us <= path.duration_us + 1e-9
+
+    @given(span_forests())
+    @settings(max_examples=60, deadline=None)
+    def test_path_is_a_root_to_leaf_chain(self, forest):
+        spans, _ = forest
+        path = critical_path(spans)
+        by_name = {s.name: s for s in spans}
+        children = {}
+        for s in spans:
+            children.setdefault(s.parent_id, []).append(s)
+        # starts at a root
+        head = by_name[path.entries[0].name]
+        assert head.parent_id is None
+        # each next entry is a child of the previous; depths increment
+        node = head
+        for k, entry in enumerate(path.entries[1:], start=1):
+            assert entry.depth == k
+            kids = children.get(node.span_id, [])
+            node = by_name[entry.name]
+            assert node in kids
+        # ends at a leaf
+        assert not children.get(node.span_id)
+
+    @given(span_forests())
+    @settings(max_examples=60, deadline=None)
+    def test_self_times_sum_to_root_durations(self, forest):
+        spans, weights = forest
+        selfs = span_self_times(spans)
+        # by construction each span's self time is its drawn weight
+        for s in spans:
+            assert selfs[s.span_id] == pytest.approx(
+                weights[s.span_id], rel=1e-9, abs=1e-6
+            )
+        roots_total = sum(
+            s.duration_us for s in spans if s.parent_id is None
+        )
+        assert sum(selfs.values()) == pytest.approx(
+            roots_total, rel=1e-9, abs=1e-6
+        )
+
+    @given(span_forests())
+    @settings(max_examples=60, deadline=None)
+    def test_entry_self_times_bounded(self, forest):
+        spans, _ = forest
+        path = critical_path(spans, top_k=5)
+        for e in path.entries:
+            assert 0.0 <= e.self_us <= e.duration_us + 1e-9
+        # top_self is a sorted subset of the chain
+        assert len(path.top_self) <= 5
+        names_on_chain = {e.name for e in path.entries}
+        selfs = [e.self_us for e in path.top_self]
+        assert selfs == sorted(selfs, reverse=True)
+        assert all(e.name in names_on_chain for e in path.top_self)
+
+    def test_empty_and_orphaned_spans(self):
+        assert critical_path([]).entries == []
+        # parent id outside the recorded window -> treated as a root
+        orphan = SpanRecord(
+            span_id=7,
+            parent_id=99,
+            name="orphan",
+            category="t",
+            start_us=0.0,
+            duration_us=5.0,
+            thread_id=0,
+            depth=0,
+        )
+        path = critical_path([orphan])
+        assert [e.name for e in path.entries] == ["orphan"]
+
+
+class TestRankTimelines:
+    def test_fill_wait_and_imbalance(self):
+        tl = [
+            RankTimeline(rank=0, compute_s=3.0, comm_s=1.0),
+            RankTimeline(rank=1, compute_s=1.0, comm_s=1.0),
+        ]
+        _fill_wait(tl)
+        assert tl[0].wait_s == 0.0
+        assert tl[1].wait_s == pytest.approx(2.0)
+        stats = ImbalanceStats.from_timelines(tl)
+        assert stats.max_busy_s == pytest.approx(4.0)
+        assert stats.mean_busy_s == pytest.approx(3.0)
+        assert stats.imbalance == pytest.approx(4.0 / 3.0)
+        assert stats.idle_fraction == pytest.approx(2.0 / 8.0)
+
+    def test_comm_matrix_from_pairs_totals(self):
+        matrix = CommMatrix.from_pairs(
+            {"0->1": 3, "1->0": 2, "2->0": 1},
+            {"0->1": 96, "1->0": 64, "2->0": 32},
+        )
+        assert matrix.num_ranks == 3
+        assert matrix.messages[0][1] == 3
+        assert matrix.total_messages == 6
+        assert matrix.total_bytes == 192
+
+
+class TestDistributedAttribution:
+    """The acceptance scenario: a 4-rank distributed run, analyzed."""
+
+    def _run(self, num_ranks=4):
+        obs.enable()
+        obs.reset()
+        circuit = Circuit(4)
+        circuit.h(0)
+        for q in range(3):
+            circuit.cx(q, q + 1)
+        for q in range(4):
+            circuit.rz(0.3 * (q + 1), q)
+        dsv = DistributedStatevector(4, num_ranks=num_ranks)
+        dsv.run(circuit)
+        ham = PauliSum.from_label_dict(
+            {"ZZII": 0.5, "XXII": 0.25, "IIZZ": 0.125, "ZIIZ": 0.0625}
+        )
+        dsv.expectation(ham)
+        return dsv
+
+    def test_comm_matrix_matches_commstats(self):
+        dsv = self._run()
+        analysis = PerfAnalysis.from_tracer(comm_stats=dsv.comm.stats)
+        stats = dsv.comm.stats
+        assert analysis.comm_matrix.total_messages == stats.point_to_point_messages
+        assert analysis.comm_matrix.total_bytes == stats.point_to_point_bytes
+        assert stats.point_to_point_messages > 0
+
+    def test_rank_timelines_cover_all_ranks(self):
+        dsv = self._run()
+        analysis = PerfAnalysis.from_tracer(comm_stats=dsv.comm.stats)
+        assert [t.rank for t in analysis.timelines] == [0, 1, 2, 3]
+        assert all(t.compute_s > 0 for t in analysis.timelines)
+        assert all(t.comm_s > 0 for t in analysis.timelines)
+        # wait is the gap to the busiest rank: at least one rank has none
+        assert min(t.wait_s for t in analysis.timelines) == 0.0
+        assert analysis.imbalance.max_busy_s == pytest.approx(
+            max(t.busy_s for t in analysis.timelines)
+        )
+
+    def test_critical_path_bounded_by_root_span(self):
+        dsv = self._run()
+        spans = obs.get_tracer().spans
+        analysis = PerfAnalysis.from_tracer(comm_stats=dsv.comm.stats)
+        roots = [s for s in spans if s.parent_id is None]
+        assert analysis.path.entries
+        assert analysis.path.duration_us <= max(
+            s.duration_us for s in roots
+        ) + 1e-6
+
+    def test_chrome_trace_round_trip(self, tmp_path):
+        dsv = self._run()
+        live = PerfAnalysis.from_tracer(comm_stats=dsv.comm.stats)
+        path = tmp_path / "trace.json"
+        obs.get_tracer().write_chrome_trace(str(path))
+        payload = json.loads(path.read_text())
+        spans = spans_from_chrome_trace(payload)
+        assert len(spans) == len(obs.get_tracer().spans)
+        offline = PerfAnalysis.from_chrome_trace_file(str(path))
+        # trace-only analysis falls back to span attributes: same ranks,
+        # same critical path
+        assert [t.rank for t in offline.timelines] == [0, 1, 2, 3]
+        assert [e.name for e in offline.path.entries] == [
+            e.name for e in live.path.entries
+        ]
+        assert offline.path.duration_us == pytest.approx(
+            live.path.duration_us, rel=1e-6
+        )
+
+    def test_perf_analysis_dict_round_trip(self):
+        dsv = self._run()
+        analysis = PerfAnalysis.from_tracer(comm_stats=dsv.comm.stats)
+        clone = PerfAnalysis.from_dict(
+            json.loads(json.dumps(analysis.to_dict()))
+        )
+        assert [t.to_dict() for t in clone.timelines] == [
+            t.to_dict() for t in analysis.timelines
+        ]
+        assert clone.comm_matrix.to_dict() == analysis.comm_matrix.to_dict()
+        assert clone.path.to_dict() == analysis.path.to_dict()
+        assert clone.render() == analysis.render()
+
+
+class TestReportRankSections:
+    def test_distributed_vqe_report_renders_rank_sections(self):
+        """Regression: a 4-rank DistributedStatevector VQE energy loop
+        must produce a report whose summary carries per-rank sections."""
+        obs.enable()
+        obs.reset()
+        ham = PauliSum.from_label_dict({"ZIII": 1.0, "IZII": 0.5})
+        dsv = DistributedStatevector(4, num_ranks=4)
+        energies = []
+        for theta in np.linspace(0.0, 1.2, 4):  # tiny VQE parameter sweep
+            circuit = Circuit(4)
+            circuit.ry(float(theta), 0)
+            circuit.cx(0, 1)
+            circuit.cx(0, 3)  # spans the global qubits -> real exchanges
+            dsv.reset()
+            dsv.run(circuit)
+            energies.append(dsv.expectation(ham))
+        assert energies[0] != energies[-1]
+        report = obs.collect_report(comm_stats=dsv.comm.stats)
+        assert report.perf  # v2 reports embed the analysis
+        summary = report.summary()
+        assert "-- per-rank timeline (wall seconds) --" in summary
+        assert "-- communication matrix" in summary
+        assert "-- critical path (root -> leaf) --" in summary
+        for rank in range(4):
+            assert f"\n  {rank:>4} " in summary or f" {rank:>4} " in summary
+
+    def test_report_without_rank_data_has_no_rank_sections(self):
+        obs.enable()
+        obs.reset()
+        with obs.span("plain.work"):
+            pass
+        report = obs.collect_report()
+        summary = report.summary()
+        assert "-- per-rank timeline" not in summary
+        assert "-- communication matrix" not in summary
+
+    def test_v1_report_payload_still_loads(self):
+        obs.enable()
+        obs.reset()
+        with obs.span("x"):
+            pass
+        from repro.obs.report import RunReport
+
+        payload = obs.collect_report().to_dict()
+        payload["version"] = 1
+        payload.pop("perf", None)
+        loaded = RunReport.from_dict(payload)
+        assert loaded.version == 1
+        assert loaded.perf == {}
+        loaded.summary()  # renders without the perf section
