@@ -93,15 +93,25 @@ def _measure():
 
     # One enabled iteration counts the instrumentation events the
     # disabled path still touches (spans entered + counter guards).
+    # Count inc *calls*, not summed counter values: an amount-weighted
+    # inc (e.g. "ops skipped" += 6) is still one guard evaluation when
+    # observability is off.
     obs.configure(enabled=True)
     obs.reset()
-    vqe.energy(params)
+    calls = {"n": 0}
+    real_inc = obs.inc
+
+    def counting_inc(*args, **kwargs):
+        calls["n"] += 1
+        return real_inc(*args, **kwargs)
+
+    obs.inc = counting_inc
+    try:
+        vqe.energy(params)
+    finally:
+        obs.inc = real_inc
     spans = len(obs.get_tracer().spans)
-    counter_events = sum(
-        int(row["value"])
-        for row in obs.get_registry().snapshot()
-        if row["type"] == "counter"
-    )
+    counter_events = calls["n"]
     enabled_s = _median_iteration_s(vqe, params)
     obs.disable()
     obs.reset()

@@ -546,10 +546,43 @@ def _add_obs_args(p: argparse.ArgumentParser) -> None:
 def _obs_requested(args: argparse.Namespace) -> bool:
     return bool(
         getattr(args, "profile", False)
+        or getattr(args, "plan_stats", False)
         or getattr(args, "trace_out", "")
         or getattr(args, "metrics_out", "")
         or getattr(args, "report_out", "")
     )
+
+
+_PLAN_STAT_ROWS = [
+    ("repro_plan_compile_total", "plans compiled"),
+    ("repro_plan_ops_total", "compiled ops emitted"),
+    ("repro_plan_fused_gates_removed_total", "gates removed by fusion"),
+    ("repro_plan_diag_gates_folded_total", "diagonal gates folded"),
+    ("repro_plan_executions_total", "plan executions"),
+    ("repro_plan_ops_executed_total", "kernel ops executed"),
+    ("repro_plan_prefix_resumes_total", "prefix-state resumes"),
+    ("repro_plan_prefix_ops_skipped_total", "ops skipped via prefix reuse"),
+]
+
+
+def _plan_stats_lines() -> List[str]:
+    """Human-readable view of the compiled-plan counters (summed over
+    label sets, e.g. the circuit and generator prefix engines)."""
+    totals: Dict[str, float] = {}
+    for snap in obs.get_registry().snapshot():
+        name = snap["name"]
+        if isinstance(name, str) and name.startswith("repro_plan_"):
+            totals[name] = totals.get(name, 0.0) + float(snap["value"])  # type: ignore[arg-type]
+    lines = ["compiled-plan stats:"]
+    if not totals:
+        lines.append("  (no compiled-plan activity recorded)")
+        return lines
+    for name, label in _PLAN_STAT_ROWS:
+        if name in totals:
+            lines.append(f"  {label + ':':32s}{totals.pop(name):12.0f}")
+    for name in sorted(totals):  # future counters show up unformatted
+        lines.append(f"  {name}: {totals[name]:.0f}")
+    return lines
 
 
 def _setup_obs(args: argparse.Namespace) -> bool:
@@ -591,6 +624,9 @@ def _finalize_obs(args: argparse.Namespace, wall_time_s: float) -> None:
     stream = sys.stderr if getattr(args, "json", False) else sys.stdout
     for line in notices:
         print(line, file=stream)
+    if getattr(args, "plan_stats", False):
+        for line in _plan_stats_lines():
+            print(line, file=stream)
     if args.profile:
         print(report.summary(), file=stream)
 
@@ -610,6 +646,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_vqe.add_argument("--no-exact", action="store_true")
     p_vqe.add_argument("--tol", type=float, default=1e-4)
     p_vqe.add_argument("--json", action="store_true", help="emit JSON on stdout")
+    p_vqe.add_argument(
+        "--plan-stats",
+        action="store_true",
+        help="print compiled-circuit-plan counters (ops, fusion, prefix reuse)",
+    )
     _add_obs_args(p_vqe)
     p_vqe.set_defaults(func=_cmd_vqe)
 
@@ -619,6 +660,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_adapt.add_argument("--active", default="")
     p_adapt.add_argument("--max-iterations", type=int, default=25)
     p_adapt.add_argument("--json", action="store_true", help="emit JSON on stdout")
+    p_adapt.add_argument(
+        "--plan-stats",
+        action="store_true",
+        help="print compiled-circuit-plan counters (ops, fusion, prefix reuse)",
+    )
     _add_obs_args(p_adapt)
     p_adapt.set_defaults(func=_cmd_adapt)
 

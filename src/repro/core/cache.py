@@ -158,10 +158,17 @@ class CachedEnergyEvaluator:
         return len(self._groups)
 
     def _prepare(self, params: np.ndarray) -> np.ndarray:
-        bound = self.ansatz.bind(list(params))
-        state = self._sim.run(bound)
+        if self.ansatz.num_parameters:
+            from repro.sim.plan import compile_circuit  # lazy: avoids cycle
+
+            plan = compile_circuit(self.ansatz)
+            state = self._sim.run_plan(plan, params)
+            gates = plan.num_ops
+        else:
+            state = self._sim.run(self.ansatz)
+            gates = len(self.ansatz)
         self.ledger.ansatz_executions += 1
-        self.ledger.ansatz_gates += len(bound)
+        self.ledger.ansatz_gates += gates
         return state.copy()
 
     def energy(self, params: np.ndarray) -> float:

@@ -12,7 +12,7 @@ them cleanly:
 
 from __future__ import annotations
 
-from abc import ABC, abstractmethod
+from abc import ABC
 from typing import Optional
 
 import numpy as np
@@ -82,9 +82,41 @@ class Estimator(ABC):
             )
         return sim
 
-    @abstractmethod
     def estimate(self, circuit: Circuit, observable: PauliSum) -> float:
         """Expectation <0|U^dag H U|0>."""
+        self.evaluations += 1
+        sim = self._simulator(circuit.num_qubits)
+        sim.run(circuit)
+        return self._evaluate(sim, observable)
+
+    def estimate_plan(self, plan, params, observable: PauliSum) -> float:
+        """Expectation from a compiled :class:`repro.sim.plan.ExecutionPlan`.
+
+        The bind-free fast path of :meth:`estimate`: the pooled
+        simulator executes the plan's prepacked kernel ops directly
+        (with cross-evaluation prefix-state reuse), then the same
+        evaluation strategy runs on the resulting state.  Subclasses
+        that override :meth:`estimate` wholesale (instead of
+        :meth:`_evaluate`) fall back to bind-and-estimate on the plan's
+        source circuit, so custom estimators stay correct.
+        """
+        if type(self).estimate is not Estimator.estimate:
+            return self.estimate(plan.source.bind(list(params)), observable)
+        self.evaluations += 1
+        sim = self._simulator(plan.num_qubits)
+        sim.run_plan(plan, params)
+        return self._evaluate(sim, observable)
+
+    def _evaluate(self, sim: StatevectorSimulator, observable: PauliSum) -> float:
+        """Turn the simulator's current state into an expectation value.
+
+        Subclasses implement either this hook (and inherit both
+        :meth:`estimate` and the plan fast path) or :meth:`estimate`
+        itself (pre-plan subclasses; plans then fall back to bind).
+        """
+        raise NotImplementedError(
+            "estimator subclasses implement _evaluate or override estimate"
+        )
 
 
 class DirectEstimator(Estimator):
@@ -93,11 +125,8 @@ class DirectEstimator(Estimator):
 
     name = "direct"
 
-    def estimate(self, circuit: Circuit, observable: PauliSum) -> float:
-        self.evaluations += 1
-        sim = self._simulator(circuit.num_qubits)
-        state = sim.run(circuit)
-        return expectation_direct(state, observable)
+    def _evaluate(self, sim: StatevectorSimulator, observable: PauliSum) -> float:
+        return expectation_direct(sim.statevector(copy=False), observable)
 
 
 class CachingEstimator(Estimator):
@@ -114,10 +143,8 @@ class CachingEstimator(Estimator):
         super().__init__(timer=timer)
         self.extra_gates = 0
 
-    def estimate(self, circuit: Circuit, observable: PauliSum) -> float:
-        self.evaluations += 1
-        sim = self._simulator(circuit.num_qubits)
-        state = sim.run(circuit).copy()
+    def _evaluate(self, sim: StatevectorSimulator, observable: PauliSum) -> float:
+        state = sim.statevector(copy=True)
         value, gates = expectation_basis_rotated(
             state, observable, return_gate_count=True, sim=sim
         )
@@ -140,10 +167,8 @@ class SamplingEstimator(Estimator):
         self.shots_per_group = shots_per_group
         self.rng = np.random.default_rng(seed)
 
-    def estimate(self, circuit: Circuit, observable: PauliSum) -> float:
-        self.evaluations += 1
-        sim = self._simulator(circuit.num_qubits)
-        state = sim.run(circuit).copy()
+    def _evaluate(self, sim: StatevectorSimulator, observable: PauliSum) -> float:
+        state = sim.statevector(copy=True)
         return expectation_sampled(
             state, observable, self.shots_per_group, self.rng, sim=sim
         )

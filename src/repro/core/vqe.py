@@ -9,7 +9,8 @@ Two execution modes, matching how the paper's stack is layered:
   computed directly from amplitudes (§4.2), and analytic adjoint
   gradients feed gradient-based optimizers.
 * **Circuit mode** (``ansatz`` circuit + ``estimator``): the portable
-  XACC-style path — a parameterized circuit is bound and executed per
+  XACC-style path — the parameterized circuit is compiled once to a
+  bind-free execution plan (``repro.sim.plan``) and re-executed per
   evaluation through any estimator (direct / caching / sampling),
   which is what the caching and sampling ablations measure.
 """
@@ -29,6 +30,7 @@ from repro.core.estimator import DirectEstimator, Estimator
 from repro.opt.base import Optimizer, OptimizeResult
 from repro.opt.gradient import AnsatzObjective
 from repro.opt.scipy_wrap import LBFGSB
+from repro.sim.plan import compile_circuit
 from repro.utils.profiling import Timer
 
 __all__ = ["VQE", "VQEResult"]
@@ -138,8 +140,14 @@ class VQE:
     def _energy_impl(self, params: np.ndarray) -> float:
         if self.mode == "chemistry":
             return self.objective.energy(params)
-        bound = self.ansatz.bind(list(params))
-        return self.estimator.estimate(bound, self.hamiltonian)
+        if self.ansatz.num_parameters:
+            # compile once, re-execute bind-free for every evaluation
+            # (compile_circuit memoizes on the circuit and invalidates
+            # on mutation, so ADAPT-style growing ansaetze recompile
+            # exactly when they change)
+            plan = compile_circuit(self.ansatz)
+            return self.estimator.estimate_plan(plan, params, self.hamiltonian)
+        return self.estimator.estimate(self.ansatz, self.hamiltonian)
 
     def gradient(self, params: np.ndarray) -> Optional[np.ndarray]:
         """Analytic gradient (chemistry mode only)."""

@@ -211,7 +211,9 @@ class DistributedStatevector:
         if circuit.num_qubits != self.num_qubits:
             raise ValueError("circuit width mismatch")
         if circuit.num_parameters:
-            raise ValueError("bind circuit parameters before execution")
+            from repro.sim.plan import unbound_parameter_message
+
+            raise ValueError(unbound_parameter_message(circuit))
         if reset:
             self.reset()
         exchanges_before = self.exchanges
@@ -238,6 +240,92 @@ class DistributedStatevector:
                 self.exchanges - exchanges_before,
                 help="Slice exchanges performed by the distributed simulator",
             )
+
+    def run_plan(self, plan, params: Sequence[float] = (), reset: bool = True) -> None:
+        """Execute a compiled :class:`repro.sim.plan.ExecutionPlan`
+        slice-by-slice.
+
+        Each plan op is resolved to its (kind, payload) form with the
+        parameters substituted, the op's logical qubits are relocated to
+        local physical slots exactly as in :meth:`apply_gate`, and the
+        matching kernel runs on every rank's slice — no ``Gate``
+        objects and no bound-circuit copies on the distributed path
+        either.  Prefix-state reuse does not apply here (the state lives
+        in per-rank slices under a mutable layout).
+
+        Plans containing full-register diagonal folds are rejected: a
+        2^n diagonal indexed by *physical* position cannot be applied
+        per-slice under relocation.  Compile with
+        ``fold_full_diag=False`` for distributed execution.
+        """
+        if plan.num_qubits != self.num_qubits:
+            raise ValueError("plan width mismatch")
+        if any(op.kind == "diag_full" for op in plan.ops):
+            raise ValueError(
+                "plan contains full-register diagonal folds; compile with "
+                "fold_full_diag=False for distributed execution"
+            )
+        params = plan._check_params(params)
+        if reset:
+            self.reset()
+        exchanges_before = self.exchanges
+        compute_before = list(self.rank_compute_s)
+        with obs.span(
+            "dsv.run_plan",
+            category="compute",
+            ops=plan.num_ops,
+            qubits=self.num_qubits,
+            ranks=self.num_ranks,
+        ) as sp:
+            for op in plan.ops:
+                self._apply_plan_op(op, params)
+        if obs.enabled():
+            self._flush_rank_compute(sp, compute_before)
+            sp.set_attribute("exchanges", self.exchanges - exchanges_before)
+            obs.inc(
+                "repro_dsv_gates_total",
+                plan.num_ops,
+                help="Gates applied by the distributed simulator",
+            )
+            obs.inc(
+                "repro_dsv_exchanges_total",
+                self.exchanges - exchanges_before,
+                help="Slice exchanges performed by the distributed simulator",
+            )
+
+    def _apply_plan_op(self, op, params: np.ndarray) -> None:
+        if self.comm.fault_injector is not None:
+            self.comm.fault_injector.check_gate_faults(self.gates_applied)
+        kind, payload = op.resolve(params)
+        phys = self._ensure_local(op.qubits)
+        self.gates_applied += 1
+        L = self.local_qubits
+        if kind == "x":
+            kernel = lambda s: kernels.apply_x(s, phys[0], L)  # noqa: E731
+        elif kind == "cx":
+            kernel = lambda s: kernels.apply_cx(s, phys[0], phys[1], L)  # noqa: E731
+        elif kind == "diag1":
+            kernel = lambda s: kernels.apply_diag_1q(  # noqa: E731
+                s, payload[0], payload[1], phys[0], L
+            )
+        elif kind == "diag2":
+            kernel = lambda s: kernels.apply_diag_2q(  # noqa: E731
+                s, payload, phys[0], phys[1], L
+            )
+        elif len(phys) == 1:
+            kernel = lambda s: kernels.apply_1q(s, payload, phys[0], L)  # noqa: E731
+        elif len(phys) == 2:
+            kernel = lambda s: kernels.apply_2q(s, payload, phys[0], phys[1], L)  # noqa: E731
+        else:
+            kernel = lambda s: kernels.apply_kq_dense(s, payload, phys, L)  # noqa: E731
+        if obs.enabled():
+            for k, s in enumerate(self.slices):
+                t0 = time.perf_counter()
+                kernel(s)
+                self.rank_compute_s[k] += time.perf_counter() - t0
+        else:
+            for s in self.slices:
+                kernel(s)
 
     def _flush_rank_compute(self, sp, compute_before: Sequence[float]) -> None:
         """Attach the per-rank compute-second delta to the enclosing

@@ -135,6 +135,15 @@ def _crz(theta: float) -> np.ndarray:
     return np.diag([1, e, 1, e.conjugate()]).astype(np.complex128)
 
 
+# Three-qubit matrix, little-endian on (q0, q1, q2): controls are q0 and
+# q1 (the low bits), target is q2.
+def _ccx() -> np.ndarray:
+    m = np.eye(8, dtype=np.complex128)
+    # both controls set: basis states 011 (3) and 111 (7) swap the target.
+    m[[3, 7]] = m[[7, 3]]
+    return m
+
+
 # ---------------------------------------------------------------------------
 # Gate registry
 # ---------------------------------------------------------------------------
@@ -164,6 +173,7 @@ GATE_SET: Dict[str, Tuple[int, int, Callable[..., np.ndarray]]] = {
     "ryy": (2, 1, _ryy),
     "cp": (2, 1, _cp),
     "crz": (2, 1, _crz),
+    "ccx": (3, 0, _ccx),
 }
 
 
@@ -278,7 +288,7 @@ class Gate:
         inverses = {"s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t"}
         if self.name in inverses:
             return Gate(inverses[self.name], self.qubits)
-        if self.name in ("i", "x", "y", "z", "h", "cx", "cz", "swap"):
+        if self.name in ("i", "x", "y", "z", "h", "cx", "cz", "swap", "ccx"):
             return self
         if self.name in ("rx", "ry", "rz", "p", "rzz", "rxx", "ryy", "cp", "crz"):
             (theta,) = self.params

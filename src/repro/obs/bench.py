@@ -57,6 +57,7 @@ KEY_COUNTER_PREFIXES = (
     "repro_sim_",
     "repro_compiled_",
     "repro_estimator_",
+    "repro_plan_",
 )
 
 

@@ -78,14 +78,79 @@ class AnsatzObjective:
         self.num_parameters = len(self.evolutions)
         self.energy_evaluations = 0
         self.gradient_evaluations = 0
+        # prefix-state reuse across consecutive prepare_state calls
+        # (same protocol as repro.sim.plan: states parked at factor
+        # boundaries, budgeted through PostAnsatzCache accounting);
+        # built lazily to keep the opt -> core import edge out of
+        # module load.
+        self._prefix_cache = None
+        self._last_params: Optional[np.ndarray] = None
+
+    def _get_prefix_cache(self):
+        if self._prefix_cache is None:
+            from repro.core.cache import PostAnsatzCache
+
+            self._prefix_cache = PostAnsatzCache(max_entries=8)
+        return self._prefix_cache
+
+    @staticmethod
+    def _prefix_key(k: int, params: np.ndarray) -> np.ndarray:
+        key = np.empty(k + 1)
+        key[0] = float(k)
+        key[1:] = params[:k]
+        return key
 
     def prepare_state(self, params: np.ndarray) -> np.ndarray:
-        """|psi(theta)> = prod_k exp(theta_k A_k) |ref> (k ascending)."""
+        """|psi(theta)> = prod_k exp(theta_k A_k) |ref> (k ascending).
+
+        Consecutive calls reuse parked intermediate states: the state
+        after factors ``0..k-1`` depends only on ``params[:k]``, so when
+        a call changes only a parameter suffix (the parameter-shift /
+        pool-screening access pattern) evolution resumes from the
+        longest parked prefix instead of replaying every factor.
+        """
+        params = np.asarray(params, dtype=float)
         if len(params) != self.num_parameters:
             raise ValueError("parameter count mismatch")
-        state = self.reference.copy()
-        for theta, ev in zip(params, self.evolutions):
-            state = ev.apply(state, float(theta))
+        m = self.num_parameters
+        cache = self._get_prefix_cache()
+        start = 0
+        state: Optional[np.ndarray] = None
+        for k in range(m, 0, -1):
+            snap = cache.get(self._prefix_key(k, params))
+            if snap is not None:
+                start, state = k, snap
+                break
+        if state is None:
+            state = self.reference.copy()
+        if start and obs.enabled():
+            obs.inc(
+                "repro_plan_prefix_resumes_total",
+                help="Plan executions resumed from a parked prefix state",
+            )
+            obs.inc(
+                "repro_plan_prefix_ops_skipped_total",
+                start,
+                help="Kernel ops skipped via prefix-state reuse",
+                labels={"engine": "generator"},
+            )
+        park = {m}
+        last = self._last_params
+        if last is not None and last.shape == params.shape:
+            changed = np.nonzero(params != last)[0]
+            if changed.size:
+                park.add(int(changed[0]))
+        for k in range(start, m):
+            if k in park and k > start:
+                # GeneratorEvolution.apply returns fresh arrays, so
+                # intermediate states park without copying.
+                cache.put(self._prefix_key(k, params), state)
+            state = self.evolutions[k].apply(state, float(params[k]))
+        if start == m:
+            state = state.copy()  # full hit: never hand out the cached array
+        else:
+            cache.put(self._prefix_key(m, params), state.copy())
+        self._last_params = params.copy()
         return state
 
     def energy(self, params: np.ndarray) -> float:

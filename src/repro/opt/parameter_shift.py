@@ -71,18 +71,18 @@ def parameter_shift_gradient(
             "RX/RY/RZ/P/RZZ/RXX/RYY gate; use adjoint gradients for "
             "product-of-exponential ansatze"
         )
-    if estimate is None:
-        from repro.core.estimator import DirectEstimator
-
-        estimate = DirectEstimator().estimate
-
     names = circuit.parameters
     params = np.asarray(params, dtype=float)
     if params.shape != (len(names),):
         raise ValueError(f"expected {len(names)} parameters")
     occ = _parameter_occurrences(circuit)
-    values = dict(zip(names, params))
 
+    if estimate is None:
+        return _plan_parameter_shift_gradient(circuit, hamiltonian, params, occ)
+
+    # custom estimate callables (e.g. a sampling estimator's bound
+    # method) take bound circuits; keep the faithful per-evaluation path
+    values = dict(zip(names, params))
     grad = np.zeros(len(names))
     for k, name in enumerate(names):
         (pref,) = occ[name]
@@ -102,6 +102,217 @@ def parameter_shift_gradient(
     return grad
 
 
+def _apply_resolved_inverse(state, kind, payload, qubits, n) -> None:
+    """Apply the inverse of a resolved plan op in place (all plan ops
+    are unitary: diagonals conjugate, dense blocks conjugate-transpose)."""
+    from repro.sim import kernels
+
+    if kind == "x":
+        kernels.apply_x(state, qubits[0], n)
+    elif kind == "cx":
+        kernels.apply_cx(state, qubits[0], qubits[1], n)
+    elif kind == "diag1":
+        kernels.apply_diag_1q(
+            state, payload[0].conjugate(), payload[1].conjugate(), qubits[0], n
+        )
+    elif kind == "diag2":
+        kernels.apply_diag_2q(
+            state, [d.conjugate() for d in payload], qubits[0], qubits[1], n
+        )
+    elif kind == "diag_full":
+        state *= payload.conj()
+    else:  # dense
+        m = np.asarray(payload).conj().T
+        if len(qubits) == 1:
+            kernels.apply_1q(state, m, qubits[0], n)
+        elif len(qubits) == 2:
+            kernels.apply_2q(state, m, qubits[0], qubits[1], n)
+        else:
+            kernels.apply_kq_dense(state, m, qubits, n)
+
+
+# Diagonal derivative factors d(U)/d(theta) for the diagonal rotation
+# gates; dense gates build -i/2 * G @ U from the generator below.
+_DIAG_GENERATORS = {
+    "rz": lambda th: (
+        -0.5j * complex(math.cos(th / 2), -math.sin(th / 2)),
+        0.5j * complex(math.cos(th / 2), math.sin(th / 2)),
+    ),
+    "p": lambda th: (0.0j, 1j * complex(math.cos(th), math.sin(th))),
+    "rzz": lambda th: (
+        -0.5j * complex(math.cos(th / 2), -math.sin(th / 2)),
+        0.5j * complex(math.cos(th / 2), math.sin(th / 2)),
+        0.5j * complex(math.cos(th / 2), math.sin(th / 2)),
+        -0.5j * complex(math.cos(th / 2), -math.sin(th / 2)),
+    ),
+}
+
+_XX = np.fliplr(np.eye(4)).astype(np.complex128)
+_YY = np.array(
+    [[0, 0, 0, -1], [0, 0, 1, 0], [0, 1, 0, 0], [-1, 0, 0, 0]],
+    dtype=np.complex128,
+)
+
+
+def _du_bracket(lam, phi, name, theta, qubits, n) -> complex:
+    """<lam| dU/dtheta |phi> evaluated on the op's index tables only."""
+    from repro.ir.gates import GATE_SET
+    from repro.utils.bitops import indices_1q, indices_2q
+
+    diag = _DIAG_GENERATORS.get(name)
+    if diag is not None:
+        d = diag(theta)
+        if len(d) == 2:
+            i0, i1 = indices_1q(n, qubits[0])
+            return d[0] * np.vdot(lam[i0], phi[i0]) + d[1] * np.vdot(
+                lam[i1], phi[i1]
+            )
+        tables = indices_2q(n, qubits[0], qubits[1])
+        return sum(
+            d[s] * np.vdot(lam[tables[s]], phi[tables[s]]) for s in range(4)
+        )
+    if name in ("rx", "ry"):
+        ch = 0.5 * math.cos(theta / 2)
+        sh = 0.5 * math.sin(theta / 2)
+        if name == "rx":
+            du = np.array([[-sh, -1j * ch], [-1j * ch, -sh]])
+        else:
+            du = np.array([[-sh, -ch], [ch, -sh]])
+        i0, i1 = indices_1q(n, qubits[0])
+        return np.vdot(lam[i0], du[0, 0] * phi[i0] + du[0, 1] * phi[i1]) + np.vdot(
+            lam[i1], du[1, 0] * phi[i0] + du[1, 1] * phi[i1]
+        )
+    # rxx / ryy: dU = -i/2 * G @ U with G the two-qubit Pauli generator
+    g = _XX if name == "rxx" else _YY
+    du = -0.5j * (g @ GATE_SET[name][2](theta))
+    tables = indices_2q(n, qubits[0], qubits[1])
+    amps = [phi[t] for t in tables]
+    total = 0.0j
+    for row in range(4):
+        total += np.vdot(
+            lam[tables[row]],
+            sum(du[row, col] * amps[col] for col in range(4)),
+        )
+    return total
+
+
+def _plan_parameter_shift_gradient(
+    circuit: Circuit,
+    hamiltonian: PauliSum,
+    params: np.ndarray,
+    occ: Dict[str, List[Parameter]],
+) -> np.ndarray:
+    """The simulator fast path: reverse-mode evaluation of the shift
+    derivatives on the compiled plan.
+
+    For the gates the shift rule covers, the two-term formula *is* the
+    analytic derivative, so the whole gradient can be read off one
+    forward pass, one ``H|psi>`` application, and one backward sweep
+    undoing ops pairwise on ``|phi>`` and ``|lambda> = H|psi>`` — the
+    classic adjoint trick, here running on prepacked plan ops instead
+    of ``Gate`` objects.  Cost is ~3 plan executions plus one observable
+    apply, independent of parameter count, versus the naive ``2 m``
+    bound circuit runs and ``2 m`` expectations.  Identical values to
+    the two-term formula to machine precision.
+    """
+    from repro import obs
+    from repro.ir.compiled import compile_observable
+    from repro.sim.plan import compile_circuit
+
+    names = circuit.parameters
+    plan = compile_circuit(circuit)
+    n = plan.num_qubits
+    psi = np.zeros(plan.dim, dtype=np.complex128)
+    psi[0] = 1.0
+    plan.execute_slice(psi, params, 0)
+    lam = compile_observable(hamiltonian).apply(psi)
+    phi = psi  # backward sweep updates the forward buffer in place
+    grad = np.zeros(len(names))
+    for op in reversed(plan.ops):
+        kind, payload = op.resolve(params)
+        _apply_resolved_inverse(phi, kind, payload, op.qubits, n)
+        if op.is_parametric:
+            _, coeff, k, offset = op.param_refs[0]
+            if coeff != 0.0:
+                theta = coeff * params[k] + offset
+                grad[k] += (
+                    2.0
+                    * coeff
+                    * _du_bracket(
+                        lam, phi, op.gate_name, theta, op.qubits, n
+                    ).real
+                )
+        _apply_resolved_inverse(lam, kind, payload, op.qubits, n)
+    if obs.enabled():
+        obs.inc(
+            "repro_plan_adjoint_gradients_total",
+            help="Plan-based reverse-mode parameter-shift gradients",
+        )
+    return grad
+
+
+def _prefix_parameter_shift_gradient(
+    circuit: Circuit,
+    hamiltonian: PauliSum,
+    params: np.ndarray,
+    occ: Dict[str, List[Parameter]],
+) -> np.ndarray:
+    """Shifted-evaluation path with explicit prefix reuse (the middle
+    rung the benchmark measures between naive bind+run and the
+    reverse-mode sweep).
+
+    Each shift-eligible parameter appears in exactly one gate, so the
+    shifted evaluations for parameter k share the op prefix up to that
+    gate with the unshifted circuit.  A base state is advanced through
+    the plan once (op position ``first_use[k]`` per parameter, ascending
+    by construction of ``Circuit.parameters``), and every shifted
+    evaluation copies the base prefix and replays only the suffix —
+    ~m * G kernel ops total instead of the naive 2 m G.
+    """
+    from repro import obs
+    from repro.sim.expectation import expectation_direct
+    from repro.sim.plan import compile_circuit
+
+    names = circuit.parameters
+    plan = compile_circuit(circuit)
+    base = np.zeros(plan.dim, dtype=np.complex128)
+    base[0] = 1.0
+    work = np.empty_like(base)
+    pos = 0
+    skipped = 0
+    grad = np.zeros(len(names))
+    for k, name in enumerate(names):
+        (pref,) = occ[name]
+        if pref.coeff == 0:
+            continue
+        fk = plan.first_use[k]
+        plan.execute_slice(base, params, pos, fk)
+        pos = fk
+        shift = math.pi / (2.0 * pref.coeff)
+        energies = []
+        for sign in (1.0, -1.0):
+            shifted = params.copy()
+            shifted[k] += sign * shift
+            work[:] = base
+            plan.execute_slice(work, shifted, fk)
+            energies.append(expectation_direct(work, hamiltonian))
+            skipped += fk
+        grad[k] = 0.5 * (energies[0] - energies[1]) * pref.coeff
+    if skipped and obs.enabled():
+        obs.inc(
+            "repro_plan_prefix_resumes_total",
+            2 * len(names),
+            help="Plan executions resumed from a parked prefix state",
+        )
+        obs.inc(
+            "repro_plan_prefix_ops_skipped_total",
+            skipped,
+            help="Kernel ops skipped via prefix-state reuse",
+            labels={"engine": "circuit"},
+        )
+    return grad
+
+
 def batched_parameter_shift_gradient(
     circuit: Circuit,
     hamiltonian: PauliSum,
@@ -115,6 +326,7 @@ def batched_parameter_shift_gradient(
     benchmark suite measures the batching speedup.
     """
     from repro.sim.batched import BatchedStatevectorSimulator
+    from repro.sim.plan import compile_circuit
 
     if not supports_parameter_shift(circuit):
         raise ValueError(
@@ -129,7 +341,7 @@ def batched_parameter_shift_gradient(
 
     m = len(names)
     batch = 2 * m
-    table = {name: np.full(batch, params[k]) for k, name in enumerate(names)}
+    rows = np.tile(params, (batch, 1))
     coeffs = np.zeros(m)
     for k, name in enumerate(names):
         (pref,) = occ[name]
@@ -137,11 +349,14 @@ def batched_parameter_shift_gradient(
         if pref.coeff == 0:
             continue
         shift = math.pi / (2.0 * pref.coeff)
-        table[name][2 * k] += shift
-        table[name][2 * k + 1] -= shift
+        rows[2 * k, k] += shift
+        rows[2 * k + 1, k] -= shift
 
+    # the same compiled plan the scalar paths share (memoized on the
+    # circuit): static segments pre-fused, diagonals pre-folded
+    plan = compile_circuit(circuit)
     sim = BatchedStatevectorSimulator(circuit.num_qubits, batch)
-    sim.run(circuit, table)
+    sim.run_plan(plan, rows)
     energies = sim.expectations(hamiltonian)
     grad = 0.5 * (energies[0::2] - energies[1::2]) * coeffs
     grad[coeffs == 0] = 0.0

@@ -33,11 +33,15 @@ from repro.sim.mitigation import (
     mitigate_counts,
     zne_expectation,
 )
+from repro.sim.plan import ExecutionPlan, PlanOp, compile_circuit
 from repro.sim.stabilizer import StabilizerSimulator, is_clifford_angle
 from repro.sim.statevector import StatevectorSimulator
 
 __all__ = [
     "StatevectorSimulator",
+    "ExecutionPlan",
+    "PlanOp",
+    "compile_circuit",
     "BatchedStatevectorSimulator",
     "StabilizerSimulator",
     "is_clifford_angle",

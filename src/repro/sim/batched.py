@@ -187,6 +187,80 @@ class BatchedStatevectorSimulator:
                     raise ValueError("batched mode supports <=2-qubit gates")
         return self.states
 
+    def run_plan(
+        self,
+        plan,
+        param_rows: np.ndarray,
+        reset: bool = True,
+    ) -> np.ndarray:
+        """Execute a compiled :class:`repro.sim.plan.ExecutionPlan` with
+        per-row parameter vectors.
+
+        ``param_rows`` has shape (B, P), row b holding the flat
+        parameter vector (ordered like ``plan.parameters``) for batch
+        instance b.  Dispatches on the plan's op metadata — static ops
+        (including fused blocks and folded diagonal passes) broadcast
+        one matrix/diagonal over the batch; parametric ops build their
+        per-row matrices once per op.  Returns the (B, 2^n) buffer.
+        """
+        if plan.num_qubits != self.num_qubits:
+            raise ValueError("plan width mismatch")
+        param_rows = np.asarray(param_rows, dtype=float)
+        if param_rows.shape != (self.batch_size, plan.num_parameters):
+            raise ValueError(
+                f"expected param_rows of shape "
+                f"({self.batch_size}, {plan.num_parameters})"
+            )
+        if reset:
+            self.reset()
+        n = self.num_qubits
+        for op in plan.ops:
+            kind = op.kind
+            if kind == "x":
+                i0, i1 = indices_1q(n, op.qubits[0])
+                tmp = self.states[:, i0].copy()
+                self.states[:, i0] = self.states[:, i1]
+                self.states[:, i1] = tmp
+            elif kind == "cx":
+                idx = indices_2q(n, op.qubits[0], op.qubits[1])
+                tmp = self.states[:, idx[1]].copy()
+                self.states[:, idx[1]] = self.states[:, idx[3]]
+                self.states[:, idx[3]] = tmp
+            elif kind == "diag1":
+                i0, i1 = indices_1q(n, op.qubits[0])
+                d0, d1 = op.data
+                if d0 != 1.0:
+                    self.states[:, i0] *= d0
+                if d1 != 1.0:
+                    self.states[:, i1] *= d1
+            elif kind == "diag2":
+                idx = indices_2q(n, op.qubits[0], op.qubits[1])
+                for sub in range(4):
+                    if op.data[sub] != 1.0:
+                        self.states[:, idx[sub]] *= op.data[sub]
+            elif kind == "diag_full":
+                self.states *= op.data[None, :]
+            elif kind == "dense1":
+                self._apply_1q_fixed(op.data, op.qubits[0])
+            elif kind == "dense2":
+                self._apply_2q_fixed(op.data, op.qubits[0], op.qubits[1])
+            elif not op.is_parametric:
+                raise ValueError("batched mode supports <=2-qubit gates")
+            else:
+                refs = op.param_refs
+                if len(refs) != 1 or refs[0][0] != "p":
+                    raise ValueError(
+                        "batched mode supports single-angle rotation gates"
+                    )
+                _, coeff, slot, offset = refs[0]
+                angles = coeff * param_rows[:, slot] + offset
+                ms = self._batched_matrix(op.gate_name, angles)
+                if len(op.qubits) == 1:
+                    self._apply_1q_batched(ms, op.qubits[0])
+                else:
+                    self._apply_2q_batched(ms, op.qubits[0], op.qubits[1])
+        return self.states
+
     # -- observation ---------------------------------------------------------------
 
     def expectations(

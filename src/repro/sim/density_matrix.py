@@ -89,7 +89,9 @@ class DensityMatrixSimulator:
         if circuit.num_qubits != self.num_qubits:
             raise ValueError("circuit width mismatch")
         if circuit.num_parameters:
-            raise ValueError("bind circuit parameters before execution")
+            from repro.sim.plan import unbound_parameter_message
+
+            raise ValueError(unbound_parameter_message(circuit))
         if reset:
             self.reset()
         for g in circuit.gates:

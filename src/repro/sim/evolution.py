@@ -66,6 +66,9 @@ class GeneratorEvolution:
             self._factors = [(coeff.imag, pstr) for coeff, pstr in generator]
         else:
             self._sparse = generator.to_sparse()
+        # compiled once here: the adjoint sweep calls apply_generator in
+        # a tight loop and should not pay the memoization version check
+        self._compiled = compile_observable(generator)
 
     @property
     def exact_factorization(self) -> bool:
@@ -89,4 +92,4 @@ class GeneratorEvolution:
         per call, reused across every ADAPT re-optimization that picks
         the same pool operator.
         """
-        return compile_observable(self.generator).apply(state)
+        return self._compiled.apply(state)

@@ -96,7 +96,9 @@ class SchrodingerFeynmanSimulator:
         if circuit.num_qubits != self.num_qubits:
             raise ValueError("circuit width mismatch")
         if circuit.num_parameters:
-            raise ValueError("bind circuit parameters before execution")
+            from repro.sim.plan import unbound_parameter_message
+
+            raise ValueError(unbound_parameter_message(circuit))
         cut = self.cut
 
         # Each path: (amplitude-weight folded into vectors, state_a, state_b,

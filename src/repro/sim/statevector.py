@@ -154,8 +154,10 @@ class StatevectorSimulator:
         m = gate.to_matrix()
         if gate.num_qubits == 1:
             kernels.apply_1q(st, m, gate.qubits[0], n)
-        else:
+        elif gate.num_qubits == 2:
             kernels.apply_2q(st, m, gate.qubits[0], gate.qubits[1], n)
+        else:
+            kernels.apply_kq_dense(st, m, gate.qubits, n)
 
     def run(self, circuit: Circuit, reset: bool = True) -> np.ndarray:
         """Execute a circuit; returns the live statevector (no copy)."""
@@ -164,7 +166,9 @@ class StatevectorSimulator:
                 f"circuit width {circuit.num_qubits} != register {self.num_qubits}"
             )
         if circuit.num_parameters:
-            raise ValueError("bind circuit parameters before execution")
+            from repro.sim.plan import unbound_parameter_message
+
+            raise ValueError(unbound_parameter_message(circuit))
         if reset:
             self.reset()
         with obs.span(
@@ -192,6 +196,44 @@ class StatevectorSimulator:
         """Apply a circuit to the *current* state (suffix execution —
         basis rotations on top of a cached state)."""
         return self.run(circuit, reset=False)
+
+    def run_plan(
+        self,
+        plan,
+        params: Sequence[float] = (),
+        reset: bool = True,
+    ) -> np.ndarray:
+        """Execute a compiled :class:`repro.sim.plan.ExecutionPlan` with
+        the given parameter vector; returns the live statevector.
+
+        The bind-free fast path of :meth:`run`: no ``Gate`` objects, no
+        circuit copies — the plan's prepacked kernel ops run directly on
+        the simulator's buffer, with prefix-state reuse when ``reset``.
+        """
+        if plan.num_qubits != self.num_qubits:
+            raise ValueError(
+                f"plan width {plan.num_qubits} != register {self.num_qubits}"
+            )
+        with obs.span(
+            "sim.run_plan", ops=plan.num_ops, qubits=self.num_qubits
+        ):
+            if self.timer is not None:
+                with self.timer.section("run_circuit"):
+                    plan.execute(self.state, params, reset=reset)
+            else:
+                plan.execute(self.state, params, reset=reset)
+        self.gates_applied += plan.num_ops
+        if obs.enabled():
+            obs.inc(
+                "repro_sim_circuits_total",
+                help="Circuit executions on the dense simulator",
+            )
+            obs.inc(
+                "repro_sim_gates_total",
+                plan.num_ops,
+                help="Gates applied by the dense simulator",
+            )
+        return self.state
 
     # -- measurement --------------------------------------------------------------
 

@@ -1,0 +1,398 @@
+"""Compiled circuit plans (repro.sim.plan): equivalence against the
+naive bind+run path, prefix-reuse correctness and invalidation, the
+>=3-qubit dense fallback, and the plan wiring through estimators,
+gradients, batched and distributed executors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import DirectEstimator, Estimator
+from repro.ir.circuit import Circuit
+from repro.ir.gates import Gate, Parameter
+from repro.ir.pauli import PauliSum
+from repro.sim.plan import ExecutionPlan, compile_circuit, unbound_parameter_message
+from repro.sim.statevector import StatevectorSimulator
+
+# -- strategies ---------------------------------------------------------------
+
+_STATIC_1Q = ["h", "x", "y", "z", "s", "sdg", "t", "tdg"]
+_STATIC_2Q = ["cx", "cz", "swap"]
+_PARAM_1Q = ["rx", "ry", "rz", "p"]
+_PARAM_2Q = ["rzz", "rxx", "ryy", "cp", "crz"]
+
+angles = st.floats(-3.0, 3.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def parameterized_circuits(draw, max_qubits=4, max_gates=14, max_params=4):
+    """Random circuit mixing static and symbolic-parameter gates; the
+    same named parameter may feed several gates with distinct affine
+    coefficients (the trotterized-ansatz pattern)."""
+    n = draw(st.integers(2, max_qubits))
+    m = draw(st.integers(0, max_params))
+    circ = Circuit(n)
+    for _ in range(draw(st.integers(1, max_gates))):
+        two_q = draw(st.booleans())
+        parametric = m > 0 and draw(st.booleans())
+        if two_q:
+            q0 = draw(st.integers(0, n - 1))
+            q1 = draw(st.integers(0, n - 2))
+            if q1 >= q0:
+                q1 += 1
+            if parametric:
+                name = draw(st.sampled_from(_PARAM_2Q))
+                p = Parameter(
+                    f"t{draw(st.integers(0, m - 1))}",
+                    coeff=draw(st.sampled_from([1.0, -1.0, 0.5, 2.0])),
+                    offset=draw(st.sampled_from([0.0, 0.25])),
+                )
+                circ.add(name, [q0, q1], p)
+            else:
+                circ.add(draw(st.sampled_from(_STATIC_2Q)), [q0, q1])
+        else:
+            q = draw(st.integers(0, n - 1))
+            if parametric:
+                name = draw(st.sampled_from(_PARAM_1Q))
+                p = Parameter(
+                    f"t{draw(st.integers(0, m - 1))}",
+                    coeff=draw(st.sampled_from([1.0, -1.0, 0.5, 2.0])),
+                    offset=draw(st.sampled_from([0.0, 0.25])),
+                )
+                circ.add(name, [q], p)
+            elif draw(st.booleans()):
+                circ.add(draw(st.sampled_from(_STATIC_1Q)), [q])
+            else:  # concrete-angle rotation: static but matrix-valued
+                circ.add(
+                    draw(st.sampled_from(_PARAM_1Q)), [q], draw(angles)
+                )
+    return circ
+
+
+def _naive_state(circuit, params):
+    sim = StatevectorSimulator(circuit.num_qubits)
+    bound = circuit.bind(list(params)) if circuit.num_parameters else circuit
+    return sim.run(bound).copy()
+
+
+# -- equivalence --------------------------------------------------------------
+
+
+class TestPlanEquivalence:
+    @given(
+        parameterized_circuits(),
+        st.data(),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_naive_bind_run(self, circ, data, fuse, fold, prefix):
+        plan = ExecutionPlan(
+            circ,
+            fuse=fuse,
+            fold_diagonals=fold,
+            enable_prefix=prefix,
+            prefix_budget=3,
+        )
+        state = np.empty(plan.dim, dtype=np.complex128)
+        # several evaluations against one plan: some fresh vectors, some
+        # single-parameter perturbations (the prefix-reuse pattern)
+        params = np.array(
+            [data.draw(angles) for _ in range(plan.num_parameters)]
+        )
+        for _ in range(data.draw(st.integers(1, 4))):
+            plan.execute(state, params)
+            expected = _naive_state(circ, params)
+            np.testing.assert_allclose(state, expected, atol=1e-10)
+            params = params.copy()
+            if plan.num_parameters and data.draw(st.booleans()):
+                k = data.draw(st.integers(0, plan.num_parameters - 1))
+                params[k] += data.draw(angles)
+            else:
+                params = np.array(
+                    [data.draw(angles) for _ in range(plan.num_parameters)]
+                )
+
+    @given(parameterized_circuits(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_run_plan_matches_run(self, circ, data):
+        params = [data.draw(angles) for _ in range(circ.num_parameters)]
+        plan = compile_circuit(circ)
+        sim = StatevectorSimulator(circ.num_qubits)
+        got = sim.run_plan(plan, params).copy()
+        np.testing.assert_allclose(got, _naive_state(circ, params), atol=1e-10)
+
+    def test_execute_slice_composes(self):
+        circ = Circuit(3)
+        for q in range(3):
+            circ.h(q)
+            circ.rz(Parameter(f"a{q}"), q)
+            circ.cx(q, (q + 1) % 3)
+        plan = ExecutionPlan(circ, enable_prefix=False)
+        params = np.array([0.3, -1.1, 2.2])
+        state = np.zeros(plan.dim, dtype=np.complex128)
+        state[0] = 1.0
+        cut = plan.first_use[1]
+        plan.execute_slice(state, params, 0, cut)
+        plan.execute_slice(state, params, cut)
+        np.testing.assert_allclose(state, _naive_state(circ, params), atol=1e-10)
+
+
+# -- prefix reuse and invalidation -------------------------------------------
+
+
+def _shift_circuit(m=4, n=3):
+    circ = Circuit(n)
+    for k in range(m):
+        circ.ry(Parameter(f"t{k}"), k % n)
+        circ.cx(k % n, (k + 1) % n)
+    return circ
+
+
+class TestPrefixReuse:
+    def test_shift_pattern_resumes_and_stays_exact(self):
+        circ = _shift_circuit()
+        plan = ExecutionPlan(circ)
+        base = np.linspace(0.1, 0.7, plan.num_parameters)
+        state = np.empty(plan.dim, dtype=np.complex128)
+        plan.execute(state, base)
+        for k in range(plan.num_parameters):
+            for sign in (1.0, -1.0):
+                shifted = base.copy()
+                shifted[k] += sign * np.pi / 2
+                plan.execute(state, shifted)
+                np.testing.assert_allclose(
+                    state, _naive_state(circ, shifted), atol=1e-10
+                )
+            # re-parking the base between up/down shifts guarantees a
+            # resume for every down-shift at least
+            plan.execute(state, base)
+        assert plan.prefix_resumes > 0
+        assert plan.prefix_ops_skipped > 0
+
+    def test_tiny_budget_still_exact(self):
+        circ = _shift_circuit()
+        plan = ExecutionPlan(circ, prefix_budget=1)
+        state = np.empty(plan.dim, dtype=np.complex128)
+        rng = np.random.default_rng(7)
+        for _ in range(6):
+            params = rng.uniform(-2, 2, plan.num_parameters)
+            plan.execute(state, params)
+            np.testing.assert_allclose(
+                state, _naive_state(circ, params), atol=1e-10
+            )
+
+    def test_reset_false_bypasses_prefix_cache(self):
+        circ = _shift_circuit()
+        plan = ExecutionPlan(circ)
+        params = np.full(plan.num_parameters, 0.4)
+        state = np.empty(plan.dim, dtype=np.complex128)
+        plan.execute(state, params)  # parks the final state
+        custom = np.zeros(plan.dim, dtype=np.complex128)
+        custom[1] = 1.0
+        expect = custom.copy()
+        plan.execute(custom, params, reset=False)
+        # reference: apply the bound circuit to |001>
+        sim = StatevectorSimulator(circ.num_qubits)
+        sim.set_state(expect)
+        sim.apply_circuit(circ.bind(list(params)))
+        np.testing.assert_allclose(custom, sim.statevector(), atol=1e-10)
+
+    def test_clear_prefix_cache(self):
+        circ = _shift_circuit()
+        plan = ExecutionPlan(circ)
+        params = np.full(plan.num_parameters, 0.2)
+        state = np.empty(plan.dim, dtype=np.complex128)
+        plan.execute(state, params)
+        plan.clear_prefix_cache()
+        plan.execute(state, params)
+        np.testing.assert_allclose(state, _naive_state(circ, params), atol=1e-10)
+
+
+class TestInvalidation:
+    def test_mutation_forces_recompile(self):
+        circ = _shift_circuit()
+        plan = compile_circuit(circ)
+        assert compile_circuit(circ) is plan  # memo hit
+        circ.h(0)  # mutate the source
+        assert plan.is_stale()
+        plan2 = compile_circuit(circ)
+        assert plan2 is not plan
+        params = np.full(plan2.num_parameters, 0.3)
+        state = np.empty(plan2.dim, dtype=np.complex128)
+        plan2.execute(state, params)
+        np.testing.assert_allclose(state, _naive_state(circ, params), atol=1e-10)
+
+    def test_option_change_recompiles(self):
+        circ = _shift_circuit()
+        plan = compile_circuit(circ)
+        other = compile_circuit(circ, fuse=False)
+        assert other is not plan
+
+    def test_stale_plan_never_served_after_inplace_edit(self):
+        circ = Circuit(2).h(0)
+        plan = compile_circuit(circ)
+        sim = StatevectorSimulator(2)
+        a = sim.run_plan(plan, []).copy()
+        circ.cx(0, 1)
+        b = StatevectorSimulator(2).run_plan(compile_circuit(circ), []).copy()
+        np.testing.assert_allclose(a, _naive_state(Circuit(2).h(0), []), atol=1e-12)
+        np.testing.assert_allclose(
+            b, _naive_state(Circuit(2).h(0).cx(0, 1), []), atol=1e-12
+        )
+
+
+# -- >=3-qubit dense fallback (the apply_gate bugfix) ------------------------
+
+
+class TestWideGateFallback:
+    def test_ccx_through_apply_gate(self):
+        sim = StatevectorSimulator(3)
+        sim.run(Circuit(3).x(0).x(1))
+        sim.apply_gate(Gate("ccx", (0, 1, 2)))
+        state = sim.statevector()
+        expected = np.zeros(8, dtype=np.complex128)
+        expected[0b111] = 1.0  # both controls set -> target flips
+        np.testing.assert_allclose(state, expected, atol=1e-12)
+
+    def test_ccx_matches_dense_matrix(self):
+        circ = Circuit(3).h(0).h(1).h(2).add("ccx", [2, 0, 1])
+        got = StatevectorSimulator(3).run(circ)
+        init = np.zeros(8, dtype=np.complex128)
+        init[0] = 1.0
+        np.testing.assert_allclose(got, circ.to_matrix() @ init, atol=1e-12)
+
+    def test_plan_handles_3q_gate(self):
+        circ = Circuit(3).h(0).h(1).add("ccx", [0, 1, 2]).rz(Parameter("a"), 2)
+        plan = compile_circuit(circ)
+        state = np.empty(8, dtype=np.complex128)
+        plan.execute(state, [0.7])
+        np.testing.assert_allclose(state, _naive_state(circ, [0.7]), atol=1e-10)
+
+
+# -- error reporting ----------------------------------------------------------
+
+
+class TestUnboundErrors:
+    def test_message_names_parameters(self):
+        circ = Circuit(2).rx(Parameter("alpha"), 0).rz(Parameter("beta"), 1)
+        msg = unbound_parameter_message(circ)
+        assert "alpha" in msg and "beta" in msg
+        assert "compile_circuit" in msg
+
+    def test_run_raises_with_names(self):
+        circ = Circuit(2).rx(Parameter("alpha"), 0)
+        with pytest.raises(ValueError, match="alpha"):
+            StatevectorSimulator(2).run(circ)
+
+    def test_plan_rejects_wrong_param_count(self):
+        plan = compile_circuit(Circuit(2).rx(Parameter("a"), 0))
+        state = np.empty(4, dtype=np.complex128)
+        with pytest.raises(ValueError, match="expects 1 parameter"):
+            plan.execute(state, [0.1, 0.2])
+
+
+# -- consumers ----------------------------------------------------------------
+
+
+class TestConsumers:
+    def _setup(self):
+        circ = _shift_circuit(m=4, n=3)
+        h = PauliSum.from_label_dict({"ZZI": 0.5, "IXX": 0.25, "ZIZ": -0.75})
+        params = np.array([0.3, -0.4, 1.1, 0.2])
+        return circ, h, params
+
+    def test_estimate_plan_matches_estimate(self):
+        circ, h, params = self._setup()
+        est = DirectEstimator()
+        plan = compile_circuit(circ)
+        via_plan = est.estimate_plan(plan, params, h)
+        naive = DirectEstimator().estimate(circ.bind(list(params)), h)
+        assert abs(via_plan - naive) < 1e-10
+
+    def test_estimate_plan_falls_back_for_custom_estimators(self):
+        calls = []
+
+        class LoggingEstimator(Estimator):
+            def estimate(self, circuit, observable):
+                calls.append(len(circuit.parameters))
+                sim = StatevectorSimulator(circuit.num_qubits)
+                sim.run(circuit)
+                from repro.sim.expectation import expectation_direct
+
+                return expectation_direct(sim.statevector(copy=False), observable)
+
+        circ, h, params = self._setup()
+        est = LoggingEstimator()
+        got = est.estimate_plan(compile_circuit(circ), params, h)
+        # the override received a *bound* circuit (legacy contract)
+        assert calls == [0]
+        assert abs(got - DirectEstimator().estimate(circ.bind(list(params)), h)) < 1e-10
+
+    def test_batched_run_plan_matches_scalar(self):
+        from repro.sim.batched import BatchedStatevectorSimulator
+
+        circ, h, params = self._setup()
+        rows = np.stack([params, params + 0.5, params * -1.0])
+        plan = compile_circuit(circ)
+        sim = BatchedStatevectorSimulator(circ.num_qubits, 3)
+        states = sim.run_plan(plan, rows)
+        for b in range(3):
+            np.testing.assert_allclose(
+                states[b], _naive_state(circ, rows[b]), atol=1e-10
+            )
+
+    def test_distributed_run_plan_matches_scalar(self):
+        from repro.hpc.distributed import DistributedStatevector
+
+        circ, h, params = self._setup()
+        plan = compile_circuit(circ, fold_full_diag=False)
+        dsv = DistributedStatevector(circ.num_qubits, num_ranks=2)
+        dsv.run_plan(plan, params)
+        np.testing.assert_allclose(
+            dsv.gather(), _naive_state(circ, params), atol=1e-10
+        )
+
+    def test_parameter_shift_plan_path_matches_custom_estimate(self):
+        from repro.opt.parameter_shift import parameter_shift_gradient
+
+        circ, h, params = self._setup()
+        fast = parameter_shift_gradient(circ, h, params)
+        slow = parameter_shift_gradient(
+            circ, h, params, estimate=DirectEstimator().estimate
+        )
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+
+    def test_parameter_shift_all_eligible_gates(self):
+        from repro.opt.parameter_shift import parameter_shift_gradient
+
+        circ = Circuit(3).h(0).h(1).h(2)
+        for k, name in enumerate(["rx", "ry", "rz", "p", "rzz", "rxx", "ryy"]):
+            nq = 2 if name in ("rzz", "rxx", "ryy") else 1
+            p = Parameter(f"g{k}", coeff=0.5 if k % 2 else -1.5, offset=0.3)
+            circ.add(name, [k % 3, (k + 1) % 3][:nq], p)
+            circ.cx(k % 3, (k + 1) % 3)
+        h = PauliSum.from_label_dict({"ZZZ": 1.0, "XIX": 0.5, "IYY": -0.25})
+        params = np.linspace(-1.2, 1.3, circ.num_parameters)
+        fast = parameter_shift_gradient(circ, h, params)
+        slow = parameter_shift_gradient(
+            circ, h, params, estimate=DirectEstimator().estimate
+        )
+        np.testing.assert_allclose(fast, slow, atol=1e-10)
+
+    def test_batched_parameter_shift_matches(self):
+        from repro.opt.parameter_shift import (
+            batched_parameter_shift_gradient,
+            parameter_shift_gradient,
+        )
+
+        circ, h, params = self._setup()
+        np.testing.assert_allclose(
+            batched_parameter_shift_gradient(circ, h, params),
+            parameter_shift_gradient(
+                circ, h, params, estimate=DirectEstimator().estimate
+            ),
+            atol=1e-10,
+        )

@@ -146,7 +146,7 @@ class TestKernelInvertibility:
     @settings(max_examples=60)
     def test_gate_then_inverse_is_identity(self, name, theta, qubit):
         nq, npar, _ = GATE_SET[name]
-        qubits = (qubit,) if nq == 1 else (qubit, (qubit + 1) % 3)
+        qubits = tuple((qubit + j) % 3 for j in range(nq))
         params = (theta,) if npar else ()
         g = Gate(name, qubits, params)
         state0 = random_statevector(3, np.random.default_rng(7))

@@ -90,12 +90,8 @@ class TestKernelsAgainstDense:
         nq, npar, _ = GATE_SET[name]
         n = 3
         params = tuple(data.draw(angles) for _ in range(npar))
-        if nq == 1:
-            qubits = (data.draw(st.integers(0, n - 1)),)
-        else:
-            q0 = data.draw(st.integers(0, n - 1))
-            q1 = data.draw(st.integers(0, n - 1).filter(lambda x: x != q0))
-            qubits = (q0, q1)
+        perm = data.draw(st.permutations(range(n)))
+        qubits = tuple(perm[:nq])
         gate = Gate(name, qubits, params)
         circ = Circuit(n, [gate])
         state0 = random_statevector(n, np.random.default_rng(42))
