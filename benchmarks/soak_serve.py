@@ -1,0 +1,196 @@
+"""Soak test: the campaign server survives a kill -9 mid-service.
+
+Drives the real CLI in subprocesses, exactly like an operator would:
+
+1. spool submissions from three tenants (``repro submit``),
+2. start ``repro serve`` with an injected rank crash and durable
+   (fsync) journaling, let campaigns get in flight,
+3. ``SIGKILL`` the server — no atexit handlers, no flushing,
+4. spool more submissions while the server is down,
+5. restart the server and let it drain the backlog,
+6. assert from ``repro status --json`` and the journal that every job
+   reached a terminal state, the rank loss stuck, nothing was lost,
+   and no job completed twice (idempotent replay, no duplicated work).
+
+Run from the repository root:
+
+    PYTHONPATH=src python benchmarks/soak_serve.py
+
+Exit code 0 = the service behaved; anything else is a soak failure.
+CI runs this as its own job (see .github/workflows/ci.yml).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.serve.journal import Journal  # noqa: E402
+
+
+def _cli(*args: str, check: bool = True) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", *args],
+        capture_output=True,
+        text=True,
+        check=check,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+def _submit(state_dir: str, tenant: str, **kw: str) -> None:
+    args = ["submit", "--state-dir", state_dir, "--tenant", tenant]
+    for key, value in kw.items():
+        args += [f"--{key.replace('_', '-')}", str(value)]
+    _cli(*args)
+
+
+def _start_server(state_dir: str, *extra: str) -> subprocess.Popen:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--state-dir",
+            state_dir,
+            "--ranks",
+            "2",
+            "--fsync",
+            "--tick-sleep",
+            "0.01",
+            *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+
+
+def _wait_for_journal(state_dir: str, record_type: str, timeout_s: float) -> bool:
+    """Poll the journal until a record of the given type exists."""
+    path = os.path.join(state_dir, "journal.jsonl")
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if os.path.isfile(path):
+            try:
+                if any(r.type == record_type for r in Journal(path).replay()):
+                    return True
+            except Exception:
+                pass
+        time.sleep(0.1)
+    return False
+
+
+def main() -> int:
+    state_dir = tempfile.mkdtemp(prefix="repro-soak-")
+    print(f"soak state: {state_dir}")
+
+    # 1. three tenants spool a mixed workload before the server starts
+    _submit(state_dir, "alice", kind="adapt", molecule="h2", max_iterations="3")
+    _submit(state_dir, "bob", kind="vqe", molecule="h2", geometry="0.9")
+    _submit(state_dir, "carol", kind="vqe", molecule="h4")
+    _submit(state_dir, "alice", kind="vqe", molecule="h2", geometry="0.8")
+
+    # 2. serve with rank 1 doomed to crash on its first dispatch
+    server = _start_server(state_dir, "--crash-rank", "1")
+    try:
+        # wait until campaigns are genuinely in flight (work started
+        # and the injected rank crash has fired)
+        if not _wait_for_journal(state_dir, "started", timeout_s=60):
+            print("FAIL: no job started before the kill")
+            return 1
+        if not _wait_for_journal(state_dir, "rank_lost", timeout_s=60):
+            print("FAIL: injected rank crash never fired")
+            return 1
+        # 3. kill -9: no graceful shutdown of any kind
+        server.send_signal(signal.SIGKILL)
+        server.wait(timeout=30)
+        print("killed server mid-service (SIGKILL)")
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait(timeout=30)
+
+    # 4. the outage doesn't stop tenants from spooling more work
+    _submit(state_dir, "bob", kind="vqe", molecule="h2", geometry="0.7")
+    _submit(state_dir, "carol", kind="adapt", molecule="h2", max_iterations="2")
+
+    # 5. restart; the journal replays, in-flight campaigns resume from
+    # their checkpoints, the backlog drains
+    restarted = _start_server(
+        state_dir, "--crash-rank", "1", "--stop-when-idle", "--max-ticks", "500"
+    )
+    out, err = restarted.communicate(timeout=600)
+    print(out.decode().strip())
+    if restarted.returncode != 0:
+        print(f"FAIL: restarted server exited {restarted.returncode}")
+        print(err.decode())
+        return 1
+
+    # 6. verdicts, from the operator-visible surfaces only
+    status = _cli("status", "--state-dir", state_dir, "--json")
+    view = json.loads(status.stdout)
+    failures = []
+
+    nonterminal = [
+        j for j in view["jobs"] if j["state"] in ("queued", "running")
+    ]
+    if nonterminal:
+        failures.append(f"jobs stuck non-terminal: {nonterminal}")
+    succeeded = [j for j in view["jobs"] if j["state"] == "succeeded"]
+    if len(succeeded) != 6:
+        failures.append(
+            f"expected all 6 jobs to succeed, got {view['by_state']}"
+        )
+    if view["lost_ranks"] != [1]:
+        failures.append(f"rank loss not durable: {view['lost_ranks']}")
+    for job in succeeded:
+        if job["energy"] is None or job["energy"] >= 0:
+            failures.append(f"implausible energy on {job['job_id']}: {job}")
+
+    journal = Journal(os.path.join(state_dir, "journal.jsonl")).replay()
+    completions: dict = {}
+    for rec in journal:
+        if rec.type == "completed":
+            jid = rec.payload["job_id"]
+            completions[jid] = completions.get(jid, 0) + 1
+    duplicated = {j: n for j, n in completions.items() if n != 1}
+    if duplicated:
+        failures.append(f"duplicated completions after replay: {duplicated}")
+    if not any(r.type == "recovered" for r in journal):
+        failures.append("restart never journaled a recovery marker")
+
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    resumed = sum(1 for j in view["jobs"] if j.get("resumed"))
+    print(
+        f"PASS: {len(succeeded)} jobs succeeded across the kill "
+        f"({resumed} resumed from checkpoints, rank 1 lost and stayed lost, "
+        f"{len(journal)} journal records, no duplicated completions)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

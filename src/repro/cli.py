@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the workflows the paper demonstrates:
+The commands cover the workflows the paper demonstrates:
 
 * ``vqe``   — the Fig. 2 pipeline on a named molecule (optionally with
   frozen-core downfolding),
@@ -16,7 +16,11 @@ Eight commands cover the workflows the paper demonstrates:
   communication matrix, load imbalance, and the critical path, read
   from a saved run report or Chrome trace,
 * ``bench-diff`` — compare two ``BENCH_*.json`` files written by
-  ``benchmarks/run_suite.py`` and exit non-zero on regressions.
+  ``benchmarks/run_suite.py`` and exit non-zero on regressions,
+* ``serve`` / ``submit`` / ``status`` — the crash-safe multi-tenant
+  campaign server (``repro.serve``): spool submissions into a server's
+  inbox, run the server (kill it, restart it, it resumes), inspect
+  job states read-only.
 
 Every run command accepts the observability flags:
 
@@ -38,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Any, Dict, List, Optional
@@ -513,6 +518,139 @@ def _cmd_bench_diff(args: argparse.Namespace) -> int:
     return 1 if diff.has_regressions else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.hpc.faults import FaultSpec
+    from repro.serve import CampaignServer, ServerConfig, TenantPolicy
+
+    fault_specs = []
+    for spec in args.crash_rank or []:
+        # "rank[:dispatch_index]" — batch-scope rank crash; without an
+        # index the rank dies on the first dispatch that lands on it
+        rank_s, _, at_s = spec.partition(":")
+        fault_specs.append(
+            FaultSpec(
+                kind="rank_crash",
+                rank=int(rank_s),
+                at_step=int(at_s) if at_s else None,
+                probability=0.0 if at_s else 1.0,
+                scope="batch",
+            )
+        )
+    config = ServerConfig(
+        num_ranks=args.ranks,
+        checkpoint_period=args.checkpoint_period,
+        max_job_attempts=args.max_attempts,
+        global_queue_limit=args.queue_limit,
+        default_tenant_policy=TenantPolicy(max_queued=args.tenant_queue_limit),
+        default_timeout_s=args.timeout,
+        warm_start=not args.no_warm_start,
+        fault_specs=fault_specs,
+        fault_seed=args.seed,
+        fsync=args.fsync,
+    )
+    server = CampaignServer(args.state_dir, config)
+    try:
+        server.run(
+            max_ticks=args.max_ticks,
+            stop_when_idle=args.stop_when_idle,
+            tick_sleep_s=args.tick_sleep,
+        )
+    finally:
+        server.close()
+    health = server.health()
+    if args.json:
+        _emit_json({"command": "serve", **health})
+        return 0
+    print(f"campaign server on {args.state_dir}: {health['status']}")
+    print(f"  ticks: {health['ticks']}   journal seq: {health['journal_seq']}")
+    print(f"  ranks: {len(health['alive_ranks'])}/{args.ranks} alive "
+          f"(lost: {health['lost_ranks'] or 'none'})")
+    for state, count in sorted(health["jobs"].items()):
+        print(f"  {state:10s} {count}")
+    if health["dedup_hits"]:
+        print(f"  dedup hits: {health['dedup_hits']}")
+    if health["shed"]:
+        print(f"  shed: {health['shed']}")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import uuid
+
+    from repro.serve.spec import JobSpec, SpecError
+
+    try:
+        spec = JobSpec(
+            tenant=args.tenant,
+            kind=args.kind,
+            molecule=args.molecule,
+            geometry=args.geometry,
+            max_iterations=args.max_iterations,
+            priority=args.priority,
+            deadline_s=args.deadline,
+            timeout_s=args.timeout,
+        )
+    except SpecError as err:
+        print(f"invalid job spec: {err}", file=sys.stderr)
+        return 1
+    inbox = os.path.join(args.state_dir, "inbox")
+    os.makedirs(inbox, exist_ok=True)
+    submission_id = args.submission_id or uuid.uuid4().hex[:12]
+    # atomic spool write: the server never sees a half-written file
+    path = os.path.join(inbox, f"{submission_id}.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(spec.to_dict(), fh)
+    os.replace(tmp, path)
+    if args.json:
+        _emit_json(
+            {
+                "command": "submit",
+                "submission_id": submission_id,
+                "spooled": path,
+                "content_key": spec.content_key(),
+            }
+        )
+    else:
+        print(f"spooled submission {submission_id} ({args.kind} {args.molecule} "
+              f"for tenant {args.tenant!r}) -> {path}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.serve.server import load_state_view
+
+    if not os.path.isdir(args.state_dir):
+        print(f"no server state at {args.state_dir}", file=sys.stderr)
+        return 1
+    view = load_state_view(args.state_dir)
+    if args.json:
+        _emit_json({"command": "status", **view})
+        return 0
+    health = view.get("health") or {}
+    print(f"campaign server state at {args.state_dir}")
+    print(f"  status: {health.get('status', 'unknown')}   "
+          f"journal seq: {view['journal_seq']}   "
+          f"draining: {view['draining']}")
+    if view["lost_ranks"]:
+        print(f"  lost ranks: {view['lost_ranks']}")
+    for state, count in sorted(view["by_state"].items()):
+        print(f"  {state:10s} {count}")
+    if args.jobs:
+        for job in view["jobs"]:
+            energy = (
+                f"{job['energy']:+.10f}" if job["energy"] is not None else "-"
+            )
+            flags = "".join(
+                f" [{f}]"
+                for f in ("dedup_hit", "warm_started", "resumed")
+                if job.get(f)
+            )
+            print(f"  {job['job_id']}  {job['tenant']:8s} {job['kind']:5s} "
+                  f"{job['molecule']:4s} {job['state']:10s} {energy}{flags}")
+    return 0
+
+
 # -- observability plumbing ---------------------------------------------------
 
 
@@ -743,6 +881,89 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the diff as JSON"
     )
     p_bdiff.set_defaults(func=_cmd_bench_diff)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the crash-safe multi-tenant campaign server",
+    )
+    p_serve.add_argument(
+        "--state-dir",
+        default="serve-state",
+        help="server state root (journal, store, inbox, checkpoints)",
+    )
+    p_serve.add_argument("--ranks", type=int, default=4)
+    p_serve.add_argument("--max-ticks", type=int, default=None)
+    p_serve.add_argument(
+        "--stop-when-idle",
+        action="store_true",
+        help="exit once every job reached a terminal state",
+    )
+    p_serve.add_argument(
+        "--tick-sleep", type=float, default=0.05, metavar="S",
+        help="sleep between scheduling rounds (seconds)",
+    )
+    p_serve.add_argument("--checkpoint-period", type=int, default=1)
+    p_serve.add_argument("--max-attempts", type=int, default=3)
+    p_serve.add_argument("--queue-limit", type=int, default=64)
+    p_serve.add_argument("--tenant-queue-limit", type=int, default=16)
+    p_serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="default per-job execution budget (seconds)",
+    )
+    p_serve.add_argument("--no-warm-start", action="store_true")
+    p_serve.add_argument(
+        "--crash-rank",
+        action="append",
+        metavar="RANK[:DISPATCH]",
+        help="inject a deterministic rank crash at the Nth dispatch "
+        "(repeatable)",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--fsync", action="store_true",
+        help="fsync every journal append (durable, slower)",
+    )
+    p_serve.add_argument("--json", action="store_true", help="emit JSON on stdout")
+    _add_obs_args(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="spool a job submission into a server's inbox"
+    )
+    p_submit.add_argument("--state-dir", default="serve-state")
+    p_submit.add_argument("--tenant", required=True)
+    p_submit.add_argument("--kind", choices=("vqe", "adapt"), default="vqe")
+    p_submit.add_argument("--molecule", default="h2", help="h2 | h4 | lih | h2o")
+    p_submit.add_argument(
+        "--geometry", type=float, default=None,
+        help="scan parameter (bond length / spacing, Angstrom)",
+    )
+    p_submit.add_argument("--max-iterations", type=int, default=8)
+    p_submit.add_argument("--priority", type=int, default=0)
+    p_submit.add_argument(
+        "--deadline", type=float, default=None,
+        help="wall-clock budget from admission (seconds)",
+    )
+    p_submit.add_argument(
+        "--timeout", type=float, default=None,
+        help="execution-time budget (seconds)",
+    )
+    p_submit.add_argument(
+        "--submission-id", default="",
+        help="idempotency key (resubmitting the same id is a no-op)",
+    )
+    p_submit.add_argument("--json", action="store_true", help="emit JSON on stdout")
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_status = sub.add_parser(
+        "status", help="read-only view of a campaign server's state"
+    )
+    p_status.add_argument("--state-dir", default="serve-state")
+    p_status.add_argument(
+        "--jobs", action="store_true", help="list every job, not just counts"
+    )
+    p_status.add_argument("--json", action="store_true", help="emit JSON on stdout")
+    p_status.set_defaults(func=_cmd_status)
 
     return parser
 

@@ -36,7 +36,7 @@ import json
 import os
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -55,7 +55,12 @@ from repro.hpc.faults import FaultInjector, FaultLedger, RankFailure
 from repro.hpc.perfmodel import SimulatedClock
 from repro.utils.retry import RetryPolicy
 
-__all__ = ["CampaignFailedError", "CampaignResult", "CampaignRunner"]
+__all__ = [
+    "CampaignFailedError",
+    "CheckpointSchemaError",
+    "CampaignResult",
+    "CampaignRunner",
+]
 
 _ADAPT_STATE_FILE = "adapt_state.json"
 _VQE_STATE_FILE = "vqe_params.json"
@@ -64,6 +69,46 @@ _STATE_VERSION = 1
 
 class CampaignFailedError(RuntimeError):
     """The campaign could not be completed within ``max_restarts``."""
+
+
+class CheckpointSchemaError(ValueError):
+    """A campaign checkpoint does not match the schema this version of
+    the code writes — stale (older writer), future (newer writer), or
+    structurally broken.  Raised instead of a raw ``KeyError`` /
+    ``TypeError`` so callers can distinguish "wrong format" from
+    "corrupt file" and tell the operator what to do."""
+
+
+def _check_schema_version(payload: dict, path: str) -> None:
+    """Reject checkpoints written by a different schema version with an
+    actionable message."""
+    version = payload.get("version")
+    if not isinstance(version, int):
+        raise CheckpointSchemaError(
+            f"campaign checkpoint {path!r} has no integer 'version' field — "
+            "not a repro campaign checkpoint, or written before versioning"
+        )
+    if version < _STATE_VERSION:
+        raise CheckpointSchemaError(
+            f"stale campaign checkpoint {path!r}: version {version} < "
+            f"supported {_STATE_VERSION}; re-run the campaign from scratch "
+            "or migrate the checkpoint"
+        )
+    if version > _STATE_VERSION:
+        raise CheckpointSchemaError(
+            f"campaign checkpoint {path!r} is from a newer repro (version "
+            f"{version} > supported {_STATE_VERSION}); upgrade this "
+            "installation to resume it"
+        )
+
+
+def _require_fields(payload: dict, fields: Sequence[str], path: str) -> None:
+    missing = [f for f in fields if f not in payload]
+    if missing:
+        raise CheckpointSchemaError(
+            f"campaign checkpoint {path!r} is missing required field(s) "
+            f"{missing} — truncated write or incompatible schema"
+        )
 
 
 @dataclass
@@ -293,10 +338,17 @@ class CampaignRunner:
                 payload = json.load(fh)
         except (json.JSONDecodeError, OSError) as err:
             raise ValueError(f"corrupt campaign checkpoint {path!r}: {err}") from err
-        if payload.get("version") != _STATE_VERSION:
-            raise ValueError(
-                f"unsupported campaign checkpoint version: {payload.get('version')}"
+        if not isinstance(payload, dict):
+            raise CheckpointSchemaError(
+                f"campaign checkpoint {path!r} is not a JSON object"
             )
+        _check_schema_version(payload, path)
+        _require_fields(
+            payload,
+            ("iteration", "chosen_indices", "parameters", "energy",
+             "records", "converged"),
+            path,
+        )
         chosen = [int(k) for k in payload["chosen_indices"]]
         if any(k < 0 or k >= len(adapt.pool) for k in chosen):
             raise ValueError(
@@ -306,16 +358,31 @@ class CampaignRunner:
         params = np.asarray(payload["parameters"], dtype=float)
         if params.shape != (len(chosen),):
             raise ValueError("campaign checkpoint parameter/operator count mismatch")
+        try:
+            records = [AdaptIteration(**r) for r in payload["records"]]
+        except TypeError as err:
+            raise CheckpointSchemaError(
+                f"campaign checkpoint {path!r} has an incompatible iteration-"
+                f"record layout: {err}"
+            ) from err
         st = AdaptState(
             iteration=int(payload["iteration"]),
             chosen_indices=chosen,
             parameters=params,
             energy=float(payload["energy"]),
-            records=[AdaptIteration(**r) for r in payload["records"]],
+            records=records,
             converged=bool(payload["converged"]),
         )
         st.statevector = adapt.prepare_statevector(st)
         return st
+
+    # public aliases used by the campaign server (repro.serve) to drive
+    # stepwise executions through the same checkpoint machinery
+    def load_adapt_state(self, adapt: AdaptVQE) -> Optional[AdaptState]:
+        return self._load_adapt_state(adapt)
+
+    def save_adapt_state(self, st: AdaptState) -> None:
+        self._save_adapt_state(st)
 
     # -- distributed cross-check --------------------------------------------------
 
@@ -473,8 +540,10 @@ class CampaignRunner:
                 payload = json.load(fh)
         except (json.JSONDecodeError, OSError) as err:
             raise ValueError(f"corrupt campaign checkpoint {path!r}: {err}") from err
-        if payload.get("version") != _STATE_VERSION:
-            raise ValueError(
-                f"unsupported campaign checkpoint version: {payload.get('version')}"
+        if not isinstance(payload, dict):
+            raise CheckpointSchemaError(
+                f"campaign checkpoint {path!r} is not a JSON object"
             )
+        _check_schema_version(payload, path)
+        _require_fields(payload, ("parameters", "energy", "eval"), path)
         return payload

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro import obs
 from repro.obs.perf import RANK_COMM_COUNTER
-from repro.hpc.faults import FaultInjector, TransientCommError
+from repro.hpc.faults import FaultInjector, RankFailure, TransientCommError
 from repro.hpc.perfmodel import SimulatedClock
 from repro.utils.retry import RetryPolicy
 
@@ -62,6 +62,11 @@ class CommStats:
     straggler_ops: int = 0
     retries: int = 0
     retry_backoff_s: float = 0.0
+    # per-fault-kind breakdowns (kind -> count), mirrored as labelled
+    # ``repro.obs`` counters so a health view can tell transient
+    # exchange faults from corruption from stragglers at a glance
+    faults_by_kind: Dict[str, int] = field(default_factory=dict)
+    retries_by_kind: Dict[str, int] = field(default_factory=dict)
     # rank x rank point-to-point ledger ("src->dst" -> count)
     pair_messages: Dict[str, int] = field(default_factory=dict)
     pair_bytes: Dict[str, int] = field(default_factory=dict)
@@ -91,8 +96,14 @@ class CommStats:
         self.straggler_ops = 0
         self.retries = 0
         self.retry_backoff_s = 0.0
+        self.faults_by_kind.clear()
+        self.retries_by_kind.clear()
         self.pair_messages.clear()
         self.pair_bytes.clear()
+
+    def record_fault(self, kind: str) -> None:
+        """Tally one observed fault of ``kind`` in the per-kind ledger."""
+        self.faults_by_kind[kind] = self.faults_by_kind.get(kind, 0) + 1
 
 
 class SimComm:
@@ -133,9 +144,13 @@ class SimComm:
         def counted() -> object:
             try:
                 return attempt()
-            except TransientCommError:
+            except TransientCommError as err:
                 self.stats.transient_errors += 1
+                self._note_fault(getattr(err, "kind", "transient_exchange"))
                 raise
+            except RankFailure as err:
+                self._note_fault("rank_crash")
+                raise err
 
         if self.retry_policy is None:
             return counted()
@@ -146,9 +161,30 @@ class SimComm:
             on_retry=self._on_retry,
         )
 
+    def _note_fault(self, kind: str) -> None:
+        """Per-kind fault bookkeeping: CommStats ledger + labelled
+        obs counter (``repro_comm_faults_total{kind=...}``)."""
+        self.stats.record_fault(kind)
+        if obs.enabled():
+            obs.inc(
+                "repro_comm_faults_total",
+                help="Comm-layer faults observed, by fault kind",
+                labels={"kind": kind},
+            )
+
     def _on_retry(self, attempt: int, delay: float, error: BaseException) -> None:
         self.stats.retries += 1
         self.stats.retry_backoff_s += delay
+        kind = getattr(error, "kind", "transient_exchange")
+        self.stats.retries_by_kind[kind] = (
+            self.stats.retries_by_kind.get(kind, 0) + 1
+        )
+        if obs.enabled():
+            obs.inc(
+                "repro_comm_retries_by_kind_total",
+                help="Comm-op retries, by the fault kind that forced them",
+                labels={"kind": kind},
+            )
 
     def _attribute_rank_time(
         self, seconds: float, participants: Optional[Sequence[int]] = None
@@ -217,6 +253,7 @@ class SimComm:
             multiplier = self.fault_injector.check_comm_faults(op, "exchange")
             if multiplier > 1.0:
                 self.stats.straggler_ops += 1
+                self._note_fault("straggler")
             payloads, detectable = self.fault_injector.corrupt_payloads(op, buffers)
             if detectable:
                 # the garbled message still crossed the wire before the
@@ -225,7 +262,9 @@ class SimComm:
                 for k, (buf, p) in enumerate(zip(payloads, partners)):
                     if buf is not None and p != k:
                         self.stats.record_message(k, p, buf.nbytes)
-                raise TransientCommError("checksum mismatch on exchanged slice")
+                raise TransientCommError(
+                    "checksum mismatch on exchanged slice", kind="corruption"
+                )
         received: List[Optional[np.ndarray]] = [None] * self.num_ranks
         for k, (buf, p) in enumerate(zip(payloads, partners)):
             if buf is None:
@@ -261,6 +300,7 @@ class SimComm:
             op = self.fault_injector.next_comm_op()
             if self.fault_injector.check_comm_faults(op, "allreduce") > 1.0:
                 self.stats.straggler_ops += 1
+                self._note_fault("straggler")
         total = complex(np.sum(np.asarray(values, dtype=np.complex128)))
         self.stats.allreduce_calls += 1
         # tree: 2 * log2(R) scalar messages of 16 bytes
@@ -288,6 +328,7 @@ class SimComm:
             op = self.fault_injector.next_comm_op()
             if self.fault_injector.check_comm_faults(op, "allreduce") > 1.0:
                 self.stats.straggler_ops += 1
+                self._note_fault("straggler")
         out = np.sum(np.stack(arrays), axis=0)
         self.stats.allreduce_calls += 1
         rounds = max(1, int(np.log2(self.num_ranks))) if self.num_ranks > 1 else 0

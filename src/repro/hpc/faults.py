@@ -63,7 +63,16 @@ class RankFailure(FaultError):
 class TransientCommError(FaultError):
     """A recoverable communication fault (dropped or corrupted
     message).  The exchange path retries these under a
-    :class:`repro.utils.retry.RetryPolicy`."""
+    :class:`repro.utils.retry.RetryPolicy`.
+
+    ``kind`` tags the underlying fault (``transient_exchange`` for a
+    dropped message, ``corruption`` for a checksum-rejected payload)
+    so retry metrics can be attributed per fault kind.
+    """
+
+    def __init__(self, message: str, kind: str = "transient_exchange"):
+        super().__init__(message)
+        self.kind = kind
 
 
 @dataclass

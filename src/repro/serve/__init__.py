@@ -1,0 +1,52 @@
+"""VQE-as-a-service: the crash-safe multi-tenant campaign server.
+
+The package turns one-shot campaign runs (:mod:`repro.core.campaign`)
+into a long-running service:
+
+* :mod:`repro.serve.spec` — job specifications with content addressing
+  (dedup across tenants, warm-start families across geometries).
+* :mod:`repro.serve.journal` — the CRC-checked write-ahead journal
+  whose replay is idempotent by sequence number.
+* :mod:`repro.serve.store` — content-addressed results, warm-start
+  index, and the shared compiled-problem cache.
+* :mod:`repro.serve.admission` — per-tenant bounded queues,
+  backpressure, priority shedding.
+* :mod:`repro.serve.server` — the tick loop tying it together:
+  dispatch (LPT over surviving ranks), interleaved execution,
+  deadlines, retries with budgets and circuit breakers, drain mode,
+  and health/metrics publication.
+
+Entry points: ``repro serve``, ``repro submit``, ``repro status``.
+"""
+
+from repro.serve.admission import AdmissionController, AdmissionDecision, TenantPolicy
+from repro.serve.journal import Journal, JournalCorruptionError, JournalRecord
+from repro.serve.server import CampaignServer, JobRecord, ServerConfig, load_state_view
+from repro.serve.spec import (
+    SPEC_VERSION,
+    TERMINAL_STATES,
+    JobSpec,
+    JobState,
+    SpecError,
+)
+from repro.serve.store import ContentStore, ProblemCache
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "TenantPolicy",
+    "Journal",
+    "JournalCorruptionError",
+    "JournalRecord",
+    "CampaignServer",
+    "JobRecord",
+    "ServerConfig",
+    "load_state_view",
+    "SPEC_VERSION",
+    "TERMINAL_STATES",
+    "JobSpec",
+    "JobState",
+    "SpecError",
+    "ContentStore",
+    "ProblemCache",
+]

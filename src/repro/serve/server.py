@@ -1,0 +1,964 @@
+"""The multi-tenant campaign server (``repro serve``).
+
+``CampaignServer`` turns the single-run recovery machinery of
+``repro.core.campaign`` into a long-running, crash-safe service:
+
+* **Submission** arrives through :meth:`CampaignServer.submit` (in
+  process) or a spool-directory inbox (``<state_dir>/inbox/*.json``,
+  written atomically by ``repro submit``) — file-based ingestion is
+  itself crash-safe: a submission survives either fully journaled or
+  still in the inbox, never half-admitted.
+* **Admission control** (:mod:`repro.serve.admission`) bounds every
+  queue per tenant and globally, rejects with explicit backpressure,
+  and fails fast on job classes whose circuit breaker is open.
+* **Execution** interleaves all running campaigns step by step
+  (one ADAPT iteration per tick per job; VQE campaigns run through
+  ``CampaignRunner.run_vqe`` with its internal evaluation-level
+  checkpoints), so N campaigns are genuinely in flight at once and a
+  kill can land mid-anything.
+* **Crash safety**: every transition is written to the write-ahead
+  journal first; restart replays the journal (idempotently — records
+  are sequence-numbered), reloads terminal results from the
+  content-addressed store, and requeues in-flight jobs, which resume
+  from their ``CampaignRunner`` checkpoints with no completed work
+  redone.
+* **Deadlines, retries, degradation**: per-job deadlines/timeouts are
+  enforced between steps; failures retry under a shared
+  ``RetryPolicy`` guarded by a global ``RetryBudget`` and per-class
+  ``CircuitBreaker``s; simulated rank loss shrinks the worker pool and
+  the queued work is re-LPT'd over survivors via ``BatchScheduler``;
+  overload sheds the lowest-priority queued jobs; drain mode finishes
+  in-flight work while rejecting new submissions.
+* **Observability**: health/readiness and per-tenant counters are
+  published through ``repro.obs`` and mirrored to an atomically
+  written ``status.json`` for out-of-process ``repro status``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.core.campaign import CampaignRunner
+from repro.hpc.faults import FaultInjector, FaultSpec
+from repro.hpc.scheduler import BatchScheduler, Job
+from repro.serve.admission import AdmissionController, TenantPolicy
+from repro.serve.journal import Journal, JournalRecord
+from repro.serve.spec import TERMINAL_STATES, JobSpec, JobState, SpecError
+from repro.serve.store import ContentStore, ProblemCache
+from repro.utils.retry import CircuitBreaker, RetryBudget, RetryPolicy
+
+__all__ = ["ServerConfig", "JobRecord", "CampaignServer", "load_state_view"]
+
+# rough per-family qubit widths for admission-time cost estimates (the
+# real width is known only after the chemistry stage builds)
+_QUBITS_BY_MOLECULE = {"h2": 4, "h4": 8, "lih": 12, "h2o": 14}
+
+
+@dataclass
+class ServerConfig:
+    """Tuning knobs of one server instance."""
+
+    num_ranks: int = 4
+    machine: str = "perlmutter"
+    checkpoint_period: int = 1
+    max_restarts: int = 3
+    max_job_attempts: int = 3
+    global_queue_limit: int = 64
+    default_tenant_policy: TenantPolicy = field(default_factory=TenantPolicy)
+    tenant_policies: Dict[str, TenantPolicy] = field(default_factory=dict)
+    breaker_failure_threshold: int = 3
+    breaker_cooldown_s: float = 60.0
+    retry_budget_capacity: float = 32.0
+    retry_budget_refill_per_s: float = 1.0
+    retry_seed: int = 0
+    default_timeout_s: Optional[float] = None
+    warm_start: bool = True
+    adapt_energy_tolerance: float = 1e-6
+    fault_specs: List[FaultSpec] = field(default_factory=list)
+    fault_seed: int = 0
+    fsync: bool = False
+    clock: Any = None  # Callable[[], float]; default time.monotonic
+
+
+@dataclass
+class JobRecord:
+    """Server-side view of one job's lifecycle."""
+
+    job_id: str
+    spec: JobSpec
+    state: str = JobState.QUEUED
+    submitted_seq: int = 0
+    submission_id: Optional[str] = None
+    rank: Optional[int] = None
+    attempts: int = 0
+    energy: Optional[float] = None
+    detail: str = ""
+    dedup_hit: bool = False
+    warm_started: bool = False
+    resumed: bool = False
+    admitted_at: float = 0.0
+    exec_s: float = 0.0
+    next_eligible: float = 0.0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.spec.tenant,
+            "kind": self.spec.kind,
+            "molecule": self.spec.molecule,
+            "geometry": self.spec.geometry,
+            "priority": self.spec.priority,
+            "state": self.state,
+            "rank": self.rank,
+            "attempts": self.attempts,
+            "energy": self.energy,
+            "detail": self.detail,
+            "dedup_hit": self.dedup_hit,
+            "warm_started": self.warm_started,
+            "resumed": self.resumed,
+        }
+
+
+class _ServerState:
+    """The journal fold: jobs + fleet facts rebuilt from records.
+
+    ``apply`` ignores any record whose ``seq`` has already been
+    applied, which makes replay idempotent for overlapping prefixes —
+    the property ``tests/test_serve.py`` verifies with Hypothesis.
+    """
+
+    def __init__(self) -> None:
+        self.jobs: Dict[str, JobRecord] = {}
+        self.order: List[str] = []
+        self.lost_ranks: set = set()
+        self.draining = False
+        self.dispatches = 0
+        self.submission_ids: set = set()
+        self.last_seq = 0
+
+    def apply(self, rec: JournalRecord) -> None:
+        if rec.seq <= self.last_seq:
+            return  # already applied — idempotent replay
+        self.last_seq = rec.seq
+        p = rec.payload
+        if rec.type in ("admitted", "rejected"):
+            spec = JobSpec.from_dict(p["spec"])
+            job = JobRecord(
+                job_id=p["job_id"],
+                spec=spec,
+                state=(
+                    JobState.QUEUED if rec.type == "admitted" else JobState.REJECTED
+                ),
+                submitted_seq=rec.seq,
+                submission_id=p.get("submission_id"),
+                detail=p.get("reason", ""),
+            )
+            self.jobs[job.job_id] = job
+            self.order.append(job.job_id)
+            if job.submission_id:
+                self.submission_ids.add(job.submission_id)
+            return
+        if rec.type == "rank_lost":
+            self.lost_ranks.add(int(p["rank"]))
+            return
+        if rec.type == "drain":
+            self.draining = True
+            return
+        if rec.type == "recovered":
+            return
+        job = self.jobs.get(p.get("job_id", ""))
+        if job is None:
+            return  # record about a job we never saw admitted; ignore
+        if rec.type == "started":
+            job.state = JobState.RUNNING
+            job.rank = p.get("rank")
+            job.attempts = int(p.get("attempt", job.attempts))
+            self.dispatches += 1
+        elif rec.type in ("retry", "requeued"):
+            job.state = JobState.QUEUED
+            job.rank = None
+            job.attempts = int(p.get("attempt", job.attempts))
+            job.detail = p.get("reason", job.detail)
+        elif rec.type == "completed":
+            job.state = JobState.SUCCEEDED
+            job.rank = None
+            job.energy = p.get("energy")
+            job.dedup_hit = bool(p.get("dedup", False))
+            job.warm_started = bool(p.get("warm_started", False))
+            job.resumed = bool(p.get("resumed", False))
+        elif rec.type == "failed":
+            job.state = JobState.FAILED
+            job.rank = None
+            job.detail = p.get("reason", "")
+        elif rec.type == "timed_out":
+            job.state = JobState.TIMED_OUT
+            job.rank = None
+            job.detail = p.get("reason", "")
+        elif rec.type == "shed":
+            job.state = JobState.SHED
+            job.rank = None
+            job.detail = p.get("reason", "")
+
+
+class _JobExecution:
+    """Volatile driver of one running campaign (checkpoints persist)."""
+
+    def __init__(
+        self,
+        job: JobRecord,
+        problem: Dict[str, Any],
+        ckpt_dir: str,
+        config: ServerConfig,
+        warm_x0: Optional[np.ndarray],
+    ):
+        self.job = job
+        self.problem = problem
+        self.config = config
+        self.warm_x0 = warm_x0
+        self.runner = CampaignRunner(
+            ckpt_dir,
+            checkpoint_period=config.checkpoint_period,
+            max_restarts=config.max_restarts,
+        )
+        self._adapt = None
+        self._adapt_state = None
+        if job.spec.kind == "adapt":
+            from repro.core.adapt import AdaptVQE
+
+            self._adapt = AdaptVQE(
+                problem["hamiltonian"],
+                problem["pool"],
+                problem["reference"],
+                max_iterations=job.spec.max_iterations,
+                energy_tolerance=config.adapt_energy_tolerance,
+            )
+            loaded = self.runner.load_adapt_state(self._adapt)
+            self.job.resumed = loaded is not None
+            self._adapt_state = loaded or self._adapt.initial_state()
+
+    def step(self) -> Optional[Dict[str, Any]]:
+        """Advance one unit of work; a dict result means *done*."""
+        if self._adapt is not None:
+            return self._step_adapt()
+        return self._run_vqe()
+
+    def _step_adapt(self) -> Optional[Dict[str, Any]]:
+        st = self._adapt_state
+        if not st.converged and st.iteration < self._adapt.max_iterations:
+            with obs.span(
+                "serve.job_step", job=self.job.job_id, iteration=st.iteration + 1
+            ):
+                self._adapt.step(st)
+            if st.converged or st.iteration % self.config.checkpoint_period == 0:
+                self.runner.save_adapt_state(st)
+        if st.converged or st.iteration >= self._adapt.max_iterations:
+            self.runner.save_adapt_state(st)
+            result = self._adapt.result(st)
+            return {
+                "energy": float(result.energy),
+                "parameters": [float(x) for x in st.parameters],
+                "iterations": int(st.iteration),
+                "kind": "adapt",
+            }
+        return None
+
+    def _run_vqe(self) -> Dict[str, Any]:
+        from repro.core.vqe import VQE
+
+        vqe = VQE(
+            self.problem["hamiltonian"],
+            generators=self.problem["generators"],
+            reference_state=self.problem["reference"],
+        )
+        x0 = self.warm_x0
+        if x0 is not None:
+            self.job.warm_started = True
+        with obs.span("serve.job_step", job=self.job.job_id, kind="vqe"):
+            campaign = self.runner.run_vqe(vqe, initial_parameters=x0)
+        self.job.resumed = campaign.resumed_from is not None
+        return {
+            "energy": float(campaign.energy),
+            "parameters": [
+                float(x) for x in campaign.result.optimal_parameters
+            ],
+            "evaluations": int(campaign.result.num_function_evaluations),
+            "kind": "vqe",
+        }
+
+
+class CampaignServer:
+    """Crash-safe multi-tenant VQE/ADAPT campaign server."""
+
+    def __init__(self, state_dir: str, config: Optional[ServerConfig] = None):
+        self.state_dir = state_dir
+        self.config = config or ServerConfig()
+        os.makedirs(state_dir, exist_ok=True)
+        self.inbox_dir = os.path.join(state_dir, "inbox")
+        os.makedirs(self.inbox_dir, exist_ok=True)
+        self._now = self.config.clock or time.monotonic
+        self.journal = Journal(
+            os.path.join(state_dir, "journal.jsonl"), fsync=self.config.fsync
+        )
+        self.store = ContentStore(os.path.join(state_dir, "store"))
+        self.problems = ProblemCache()
+        self.admission = AdmissionController(
+            global_queue_limit=self.config.global_queue_limit,
+            default_policy=self.config.default_tenant_policy,
+            tenant_policies=dict(self.config.tenant_policies),
+        )
+        self.retry_policy = RetryPolicy(
+            max_attempts=max(2, self.config.max_job_attempts),
+            seed=self.config.retry_seed,
+        )
+        self.retry_budget = RetryBudget(
+            capacity=self.config.retry_budget_capacity,
+            refill_per_s=self.config.retry_budget_refill_per_s,
+        )
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self.fault_injector = (
+            FaultInjector(self.config.fault_specs, seed=self.config.fault_seed)
+            if self.config.fault_specs
+            else None
+        )
+        self.executions: Dict[str, _JobExecution] = {}
+        self.ticks = 0
+        self.shed_count = 0
+        self.dedup_hits = 0
+        self.state = _ServerState()
+        self._job_counter = 0
+        self._recover()
+
+    # -- recovery -------------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the journal and requeue whatever was in flight."""
+        records = self.journal.replay()
+        for rec in records:
+            self.state.apply(rec)
+        self._job_counter = len(self.state.jobs)
+        in_flight = [
+            j for j in self.state.jobs.values() if j.state == JobState.RUNNING
+        ]
+        for job in in_flight:
+            # the journal said RUNNING but this is a fresh process: the
+            # old run died.  Its checkpoints are on disk; requeue.
+            rec = self.journal.append(
+                "requeued",
+                job_id=job.job_id,
+                attempt=job.attempts,
+                reason="server restart",
+            )
+            self.state.apply(rec)
+        if records:
+            rec = self.journal.append(
+                "recovered",
+                jobs=len(self.state.jobs),
+                requeued=len(in_flight),
+                lost_ranks=sorted(self.state.lost_ranks),
+            )
+            self.state.apply(rec)
+        if obs.enabled() and in_flight:
+            obs.inc(
+                "repro_serve_jobs_resumed_total",
+                len(in_flight),
+                help="In-flight jobs requeued after a server restart",
+            )
+
+    # -- derived views --------------------------------------------------------
+
+    @property
+    def jobs(self) -> Dict[str, JobRecord]:
+        return self.state.jobs
+
+    @property
+    def alive_ranks(self) -> List[int]:
+        return [
+            k
+            for k in range(self.config.num_ranks)
+            if k not in self.state.lost_ranks
+        ]
+
+    @property
+    def draining(self) -> bool:
+        return self.state.draining
+
+    def _jobs_in(self, state: str) -> List[JobRecord]:
+        return [
+            self.state.jobs[jid]
+            for jid in self.state.order
+            if self.state.jobs[jid].state == state
+        ]
+
+    @property
+    def idle(self) -> bool:
+        return not self._jobs_in(JobState.QUEUED) and not self._jobs_in(
+            JobState.RUNNING
+        )
+
+    def _tenant_counts(self, tenant: str) -> Tuple[int, int]:
+        queued = sum(
+            1
+            for j in self.state.jobs.values()
+            if j.spec.tenant == tenant and j.state == JobState.QUEUED
+        )
+        running = sum(
+            1
+            for j in self.state.jobs.values()
+            if j.spec.tenant == tenant and j.state == JobState.RUNNING
+        )
+        return queued, running
+
+    def _breaker(self, class_key: str) -> CircuitBreaker:
+        br = self.breakers.get(class_key)
+        if br is None:
+            br = CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+            )
+            self.breakers[class_key] = br
+        return br
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(
+        self, spec: JobSpec, submission_id: Optional[str] = None
+    ) -> JobRecord:
+        """Admit or reject one submission; always returns a JobRecord
+        (state ``queued`` or ``rejected``)."""
+        now = self._now()
+        if submission_id and submission_id in self.state.submission_ids:
+            # duplicate delivery (inbox re-scan after a crash): return
+            # the already-journaled job instead of double-admitting
+            for jid in reversed(self.state.order):
+                if self.state.jobs[jid].submission_id == submission_id:
+                    return self.state.jobs[jid]
+        self._job_counter += 1
+        job_id = f"j{self._job_counter:05d}-{spec.content_key()[:8]}"
+        tenant_queued, _ = self._tenant_counts(spec.tenant)
+        total_queued = len(self._jobs_in(JobState.QUEUED))
+        breaker = self._breaker(spec.class_key())
+        decision = self.admission.decide(
+            spec.tenant,
+            tenant_queued=tenant_queued,
+            total_queued=total_queued,
+            draining=self.draining,
+            breaker_open=not breaker.allow(now),
+        )
+        if decision.admitted:
+            rec = self.journal.append(
+                "admitted",
+                job_id=job_id,
+                spec=spec.to_dict(),
+                submission_id=submission_id,
+            )
+        else:
+            rec = self.journal.append(
+                "rejected",
+                job_id=job_id,
+                spec=spec.to_dict(),
+                submission_id=submission_id,
+                reason=decision.reason,
+            )
+        self.state.apply(rec)
+        job = self.state.jobs[job_id]
+        job.admitted_at = now
+        if obs.enabled():
+            obs.inc(
+                "repro_serve_submissions_total",
+                help="Submissions received, by tenant and outcome",
+                labels={
+                    "tenant": spec.tenant,
+                    "outcome": "admitted" if decision.admitted else "rejected",
+                },
+            )
+        return job
+
+    def _poll_inbox(self) -> int:
+        """Ingest spooled submissions (atomic files from ``repro
+        submit``).  Journal-then-delete: a crash between the two means
+        the file is re-scanned and recognized as a duplicate."""
+        ingested = 0
+        try:
+            names = sorted(os.listdir(self.inbox_dir))
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.inbox_dir, name)
+            submission_id = name[: -len(".json")]
+            if submission_id in self.state.submission_ids:
+                os.remove(path)
+                continue
+            try:
+                with open(path) as fh:
+                    spec = JobSpec.from_dict(json.load(fh))
+            except (json.JSONDecodeError, OSError, SpecError) as err:
+                # malformed submission: journal the rejection under a
+                # synthetic spec so the submitter sees *why*
+                rec = self.journal.append(
+                    "rejected",
+                    job_id=f"bad-{submission_id}",
+                    spec=JobSpec(tenant="unknown").to_dict(),
+                    submission_id=submission_id,
+                    reason=f"malformed submission: {err}",
+                )
+                self.state.apply(rec)
+                os.remove(path)
+                continue
+            self.submit(spec, submission_id=submission_id)
+            os.remove(path)
+            ingested += 1
+        return ingested
+
+    # -- degradation ----------------------------------------------------------
+
+    def inject_rank_loss(self, rank: int) -> None:
+        """Kill one simulated rank (tests / demos call this directly;
+        configured ``FaultSpec``s arrive through the same path)."""
+        if rank in self.state.lost_ranks or rank >= self.config.num_ranks:
+            return
+        rec = self.journal.append("rank_lost", rank=rank)
+        self.state.apply(rec)
+        # jobs running on the dead rank: requeue (their checkpoints
+        # survive, so only the since-last-checkpoint slice is redone)
+        for job in self._jobs_in(JobState.RUNNING):
+            if job.rank == rank:
+                self.executions.pop(job.job_id, None)
+                r = self.journal.append(
+                    "requeued",
+                    job_id=job.job_id,
+                    attempt=job.attempts,
+                    reason=f"rank {rank} lost",
+                )
+                self.state.apply(r)
+        if obs.enabled():
+            obs.inc(
+                "repro_serve_ranks_lost_total", help="Simulated worker ranks lost"
+            )
+
+    def _check_rank_faults(self, rank: int) -> bool:
+        """Consult the fault injector at dispatch time; True = the rank
+        just died and the dispatch must not proceed."""
+        if self.fault_injector is None:
+            return False
+        dead = self.fault_injector.check_batch_faults(self.state.dispatches, rank)
+        if dead is not None:
+            self.inject_rank_loss(dead)
+            return dead == rank
+        return False
+
+    def _shed_overload(self) -> None:
+        """Degraded fleet => shrunken effective queue bound; shed the
+        lowest-priority queued jobs beyond it."""
+        alive = len(self.alive_ranks)
+        if alive >= self.config.num_ranks:
+            return
+        effective = max(
+            1,
+            (self.config.global_queue_limit * alive) // self.config.num_ranks,
+        )
+        queued = self._jobs_in(JobState.QUEUED)
+        victims = self.admission.shed_victims(
+            queued,
+            len(queued) - effective,
+            priority_of=lambda j: j.spec.priority,
+            age_of=lambda j: j.submitted_seq,
+        )
+        for job in victims:
+            rec = self.journal.append(
+                "shed",
+                job_id=job.job_id,
+                reason=(
+                    f"overload: {len(queued)} queued > effective limit "
+                    f"{effective} with {alive}/{self.config.num_ranks} ranks"
+                ),
+            )
+            self.state.apply(rec)
+            self.shed_count += 1
+            self._job_terminal_metrics(job)
+
+    # -- scheduling + dispatch ------------------------------------------------
+
+    def _estimate_job(self, job: JobRecord) -> Job:
+        from repro.core.counting import uccsd_gate_count
+
+        n = _QUBITS_BY_MOLECULE.get(job.spec.molecule.lower(), 8)
+        gates = uccsd_gate_count(n) * max(1, job.spec.max_iterations)
+        return Job(job.job_id, n, gates)
+
+    def _plan_placements(self) -> Dict[str, int]:
+        """LPT-place dispatchable queued jobs over the surviving ranks
+        (the re-LPT on rank loss falls out of re-planning here every
+        tick with the current alive set)."""
+        alive = self.alive_ranks
+        if not alive:
+            return {}
+        now = self._now()
+        running_ranks = {
+            j.rank for j in self._jobs_in(JobState.RUNNING) if j.rank is not None
+        }
+        dispatchable = [
+            j
+            for j in self._jobs_in(JobState.QUEUED)
+            if now >= j.next_eligible
+        ]
+        if not dispatchable:
+            return {}
+        # highest priority first, then submission order
+        dispatchable.sort(key=lambda j: (-j.spec.priority, j.submitted_seq))
+        scheduler = BatchScheduler(self.config.num_ranks, self.config.machine)
+        schedule = scheduler.schedule(
+            [self._estimate_job(j) for j in dispatchable], available_ranks=alive
+        )
+        placements: Dict[str, int] = {}
+        for rank, jobs in schedule.assignments.items():
+            if rank in running_ranks:
+                continue  # rank is busy this tick; its queue waits
+            for j in jobs:
+                placements.setdefault(j.name, rank)
+        return placements
+
+    def _dispatch(self) -> None:
+        now = self._now()
+        running_content = {
+            self.state.jobs[jid].spec.content_key()
+            for jid in self.state.order
+            if self.state.jobs[jid].state == JobState.RUNNING
+        }
+        placements = self._plan_placements()
+        busy: set = {
+            j.rank for j in self._jobs_in(JobState.RUNNING) if j.rank is not None
+        }
+        for job in list(self._jobs_in(JobState.QUEUED)):
+            if now < job.next_eligible:
+                continue
+            key = job.spec.content_key()
+            # dedup: an identical problem already finished -> instant hit
+            stored = self.store.get_result(key)
+            if stored is not None:
+                self._complete(job, stored, dedup=True)
+                continue
+            # an identical problem is running right now: wait for it
+            # rather than computing it twice
+            if key in running_content:
+                continue
+            rank = placements.get(job.job_id)
+            if rank is None or rank in busy:
+                continue
+            if self._check_rank_faults(rank):
+                continue  # the rank died as we dispatched; replan next tick
+            self._start(job, rank)
+            busy.add(rank)
+            running_content.add(key)
+
+    def _start(self, job: JobRecord, rank: int) -> None:
+        rec = self.journal.append(
+            "started", job_id=job.job_id, rank=rank, attempt=job.attempts + 1
+        )
+        self.state.apply(rec)
+        problem = self.problems.get(job.spec)
+        warm_x0 = None
+        if (
+            self.config.warm_start
+            and job.spec.kind == "vqe"
+            and problem.get("generators")
+            and not os.path.isfile(
+                os.path.join(self._ckpt_dir(job), "vqe_params.json")
+            )
+        ):
+            warm_x0 = self.store.warm_start(
+                job.spec.family_key(),
+                job.spec.geometry,
+                len(problem["generators"]),
+            )
+        self.executions[job.job_id] = _JobExecution(
+            job, problem, self._ckpt_dir(job), self.config, warm_x0
+        )
+
+    def _ckpt_dir(self, job: JobRecord) -> str:
+        return os.path.join(self.state_dir, "jobs", job.job_id)
+
+    # -- stepping + completion ------------------------------------------------
+
+    def _step_running(self) -> None:
+        for job in list(self._jobs_in(JobState.RUNNING)):
+            now = self._now()
+            reason = self._deadline_violation(job, now)
+            if reason is not None:
+                self.executions.pop(job.job_id, None)
+                rec = self.journal.append(
+                    "timed_out", job_id=job.job_id, reason=reason
+                )
+                self.state.apply(rec)
+                self._job_terminal_metrics(job)
+                continue
+            execution = self.executions.get(job.job_id)
+            if execution is None:
+                # recovered job whose execution object died with the old
+                # process; rebuild it (checkpoints make this cheap)
+                self._start_recovered(job)
+                execution = self.executions[job.job_id]
+            t0 = time.perf_counter()
+            try:
+                result = execution.step()
+            except Exception as err:  # noqa: BLE001 — any failure retries
+                job.exec_s += time.perf_counter() - t0
+                self._handle_failure(job, err)
+                continue
+            job.exec_s += time.perf_counter() - t0
+            if result is not None:
+                self._finish_success(job, execution, result)
+
+    def _start_recovered(self, job: JobRecord) -> None:
+        problem = self.problems.get(job.spec)
+        self.executions[job.job_id] = _JobExecution(
+            job, problem, self._ckpt_dir(job), self.config, None
+        )
+
+    def _deadline_violation(self, job: JobRecord, now: float) -> Optional[str]:
+        if (
+            job.spec.deadline_s is not None
+            and now - job.admitted_at > job.spec.deadline_s
+        ):
+            return (
+                f"deadline exceeded ({now - job.admitted_at:.3f}s > "
+                f"{job.spec.deadline_s}s since admission)"
+            )
+        timeout = (
+            job.spec.timeout_s
+            if job.spec.timeout_s is not None
+            else self.config.default_timeout_s
+        )
+        if timeout is not None and job.exec_s > timeout:
+            return f"execution budget exceeded ({job.exec_s:.3f}s > {timeout}s)"
+        return None
+
+    def _finish_success(
+        self, job: JobRecord, execution: _JobExecution, result: Dict[str, Any]
+    ) -> None:
+        key = job.spec.content_key()
+        self.store.put_result(key, result)
+        if job.spec.kind == "vqe" and result.get("parameters"):
+            self.store.add_warm_start(
+                job.spec.family_key(),
+                job.spec.geometry,
+                np.asarray(result["parameters"], dtype=float),
+            )
+        self.executions.pop(job.job_id, None)
+        self._complete(job, result, dedup=False)
+        self._breaker(job.spec.class_key()).record_success()
+
+    def _complete(
+        self, job: JobRecord, result: Dict[str, Any], dedup: bool
+    ) -> None:
+        rec = self.journal.append(
+            "completed",
+            job_id=job.job_id,
+            energy=result.get("energy"),
+            content_key=job.spec.content_key(),
+            dedup=dedup,
+            warm_started=job.warm_started,
+            resumed=job.resumed,
+        )
+        self.state.apply(rec)
+        if dedup:
+            self.dedup_hits += 1
+            if obs.enabled():
+                obs.inc(
+                    "repro_serve_dedup_hits_total",
+                    help="Jobs completed from the content-addressed store",
+                )
+        self._job_terminal_metrics(job)
+
+    def _handle_failure(self, job: JobRecord, err: Exception) -> None:
+        # job.attempts already counts this attempt (set by the
+        # "started" record's fold)
+        now = self._now()
+        self.executions.pop(job.job_id, None)
+        breaker = self._breaker(job.spec.class_key())
+        breaker.record_failure(now)
+        retryable = (
+            job.attempts < self.config.max_job_attempts
+            and breaker.state != "open"
+            and self.retry_budget.spend(now)
+        )
+        if retryable:
+            delay = self.retry_policy.backoff_delay(job.attempts)
+            job.next_eligible = now + delay
+            rec = self.journal.append(
+                "retry",
+                job_id=job.job_id,
+                attempt=job.attempts,
+                delay_s=delay,
+                reason=f"{type(err).__name__}: {err}",
+            )
+            self.state.apply(rec)
+            if obs.enabled():
+                obs.inc(
+                    "repro_serve_job_retries_total",
+                    help="Job-level retries after execution failures",
+                    labels={"tenant": job.spec.tenant},
+                )
+        else:
+            rec = self.journal.append(
+                "failed",
+                job_id=job.job_id,
+                reason=f"{type(err).__name__}: {err} (attempt {job.attempts})",
+            )
+            self.state.apply(rec)
+            self._job_terminal_metrics(job)
+
+    def _job_terminal_metrics(self, job: JobRecord) -> None:
+        if obs.enabled():
+            obs.inc(
+                "repro_serve_jobs_total",
+                help="Jobs reaching a terminal state, by tenant and state",
+                labels={"tenant": job.spec.tenant, "state": job.state},
+            )
+
+    # -- drain / lifecycle ----------------------------------------------------
+
+    def drain(self) -> None:
+        """Stop accepting work; in-flight jobs run to completion."""
+        if not self.draining:
+            rec = self.journal.append("drain")
+            self.state.apply(rec)
+
+    def tick(self) -> None:
+        """One scheduling round: ingest, shed, dispatch, advance."""
+        if os.path.isfile(os.path.join(self.state_dir, "DRAIN")):
+            self.drain()
+        self._poll_inbox()
+        self._shed_overload()
+        self._dispatch()
+        self._step_running()
+        self.ticks += 1
+        self._publish_health()
+
+    def run(
+        self,
+        max_ticks: Optional[int] = None,
+        stop_when_idle: bool = False,
+        tick_sleep_s: float = 0.0,
+    ) -> None:
+        """Serve until drained, idle (if requested), or out of ticks."""
+        while True:
+            self.tick()
+            if self.draining and self.idle:
+                break
+            if stop_when_idle and self.idle:
+                break
+            if max_ticks is not None and self.ticks >= max_ticks:
+                break
+            if tick_sleep_s:
+                time.sleep(tick_sleep_s)
+        self._publish_health()
+
+    def close(self) -> None:
+        self.journal.close()
+
+    # -- health / status ------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        """Readiness + fleet + per-tenant view (the ``/healthz`` body)."""
+        by_state: Dict[str, int] = {}
+        tenants: Dict[str, Dict[str, int]] = {}
+        for job in self.state.jobs.values():
+            by_state[job.state] = by_state.get(job.state, 0) + 1
+            t = tenants.setdefault(job.spec.tenant, {})
+            t[job.state] = t.get(job.state, 0) + 1
+        alive = self.alive_ranks
+        if self.draining:
+            status = "draining"
+        elif not alive:
+            status = "unavailable"
+        elif len(alive) < self.config.num_ranks:
+            status = "degraded"
+        else:
+            status = "ready"
+        return {
+            "status": status,
+            "ready": bool(alive) and not self.draining,
+            "ticks": self.ticks,
+            "alive_ranks": alive,
+            "lost_ranks": sorted(self.state.lost_ranks),
+            "jobs": by_state,
+            "tenants": tenants,
+            "queue_depth": by_state.get(JobState.QUEUED, 0),
+            "running": by_state.get(JobState.RUNNING, 0),
+            "dedup_hits": self.dedup_hits,
+            "shed": self.shed_count,
+            "breakers": {k: b.state for k, b in self.breakers.items()},
+            "retry_budget_tokens": self.retry_budget.tokens,
+            "journal_seq": self.state.last_seq,
+            "stored_results": self.store.num_results(),
+        }
+
+    def _publish_health(self) -> None:
+        health = self.health()
+        tmp = os.path.join(self.state_dir, "status.json.tmp")
+        with open(tmp, "w") as fh:
+            json.dump(
+                {"health": health, "jobs": [
+                    self.state.jobs[jid].to_dict() for jid in self.state.order
+                ]},
+                fh,
+            )
+        os.replace(tmp, os.path.join(self.state_dir, "status.json"))
+        if obs.enabled():
+            obs.gauge_set(
+                "repro_serve_ready",
+                1.0 if health["ready"] else 0.0,
+                help="1 when the server is accepting and executing work",
+            )
+            obs.gauge_set(
+                "repro_serve_queue_depth",
+                float(health["queue_depth"]),
+                help="Queued jobs",
+            )
+            obs.gauge_set(
+                "repro_serve_alive_ranks",
+                float(len(health["alive_ranks"])),
+                help="Surviving worker ranks",
+            )
+            obs.inc("repro_serve_ticks_total", help="Server scheduling rounds")
+
+
+def load_state_view(state_dir: str) -> Dict[str, Any]:
+    """Read-only snapshot for ``repro status``: journal fold + the last
+    published health, without constructing a server."""
+    journal = Journal(os.path.join(state_dir, "journal.jsonl"))
+    state = _ServerState()
+    for rec in journal.replay():
+        state.apply(rec)
+    health: Optional[Dict[str, Any]] = None
+    status_path = os.path.join(state_dir, "status.json")
+    if os.path.isfile(status_path):
+        try:
+            with open(status_path) as fh:
+                health = json.load(fh).get("health")
+        except (json.JSONDecodeError, OSError):
+            health = None
+    by_state: Dict[str, int] = {}
+    for job in state.jobs.values():
+        by_state[job.state] = by_state.get(job.state, 0) + 1
+    return {
+        "jobs": [state.jobs[jid].to_dict() for jid in state.order],
+        "by_state": by_state,
+        "draining": state.draining,
+        "lost_ranks": sorted(state.lost_ranks),
+        "journal_seq": state.last_seq,
+        "health": health,
+    }

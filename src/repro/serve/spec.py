@@ -1,0 +1,206 @@
+"""Job specifications for the campaign server.
+
+A :class:`JobSpec` is everything a tenant submits: the physics problem
+(molecule family + geometry + basis), the driver (plain VQE or
+ADAPT-VQE), the solver knobs (iterations, seed), and the service-level
+fields (tenant, priority, deadline).  Two hashes are derived from it:
+
+* :meth:`JobSpec.content_key` — SHA-256 over the *physics-relevant*
+  fields only.  Two tenants submitting the same problem collide on
+  this key, which is exactly what the content-addressed result store
+  wants: the second submission completes instantly from the first
+  one's stored result, regardless of who asked.
+* :meth:`JobSpec.family_key` — the content key with the geometry
+  parameter removed.  Jobs in one family are the same molecule scanned
+  across geometries, so a converged parameter vector at a nearby
+  geometry is an excellent warm start (``repro.core.scan``'s
+  incremental-optimization insight, applied fleet-wide).
+
+Specs serialize to plain JSON with a schema version so the write-ahead
+journal and the submission inbox survive software upgrades with a
+clear error instead of a silent misparse.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "SPEC_VERSION",
+    "JobState",
+    "TERMINAL_STATES",
+    "JobSpec",
+    "SpecError",
+]
+
+SPEC_VERSION = 1
+
+# Fields that define the *problem* (shared across tenants -> dedup) as
+# opposed to the service-level envelope (tenant, priority, deadline).
+_CONTENT_FIELDS = (
+    "kind",
+    "molecule",
+    "geometry",
+    "basis",
+    "optimizer",
+    "max_iterations",
+    "seed",
+)
+
+
+class SpecError(ValueError):
+    """A submitted job spec is malformed or from an unknown schema."""
+
+
+class JobState:
+    """Lifecycle states of a job inside the server.
+
+    ``QUEUED -> RUNNING -> {SUCCEEDED, FAILED, TIMED_OUT}`` is the
+    normal path; ``REJECTED`` (admission control) and ``SHED``
+    (overload) are terminal without ever running.
+    """
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+    TIMED_OUT = "timed_out"
+    REJECTED = "rejected"
+    SHED = "shed"
+
+
+TERMINAL_STATES = frozenset(
+    {
+        JobState.SUCCEEDED,
+        JobState.FAILED,
+        JobState.TIMED_OUT,
+        JobState.REJECTED,
+        JobState.SHED,
+    }
+)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One VQE/ADAPT campaign request.
+
+    Parameters
+    ----------
+    tenant:
+        Submitting tenant; admission control and metrics are per-tenant.
+    kind:
+        ``"vqe"`` (plain UCCSD VQE campaign) or ``"adapt"`` (ADAPT-VQE).
+    molecule:
+        Molecule family name (``h2``, ``h4``, ``lih``, ``h2o``).
+    geometry:
+        Optional scan parameter (bond length / spacing in Angstrom)
+        passed to the molecule factory; ``None`` = family default.
+    basis:
+        Basis set name (informational; the factories are STO-3G).
+    optimizer:
+        Optimizer name (informational; drivers pick their defaults).
+    max_iterations:
+        ADAPT iteration cap (ignored for plain VQE).
+    seed:
+        Determinism seed threaded into the drivers.
+    priority:
+        Higher = more important; overload sheds the lowest first.
+    deadline_s:
+        Wall-clock budget from *admission*; exceeded -> ``TIMED_OUT``.
+    timeout_s:
+        Budget on cumulative *execution* time; exceeded -> ``TIMED_OUT``.
+    """
+
+    tenant: str
+    kind: str = "vqe"
+    molecule: str = "h2"
+    geometry: Optional[float] = None
+    basis: str = "sto-3g"
+    optimizer: str = "default"
+    max_iterations: int = 8
+    seed: int = 0
+    priority: int = 0
+    deadline_s: Optional[float] = None
+    timeout_s: Optional[float] = None
+    version: int = field(default=SPEC_VERSION)
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("vqe", "adapt"):
+            raise SpecError(f"unknown job kind {self.kind!r}; 'vqe' or 'adapt'")
+        if not self.tenant:
+            raise SpecError("tenant must be non-empty")
+        if self.max_iterations < 1:
+            raise SpecError("max_iterations must be >= 1")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise SpecError("deadline_s must be positive")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise SpecError("timeout_s must be positive")
+
+    # -- content addressing ---------------------------------------------------
+
+    def _content_payload(self, with_geometry: bool = True) -> Dict[str, Any]:
+        payload = {f: getattr(self, f) for f in _CONTENT_FIELDS}
+        if not with_geometry:
+            payload.pop("geometry")
+        return payload
+
+    def content_key(self) -> str:
+        """SHA-256 over the physics fields — the dedup/store address."""
+        blob = json.dumps(self._content_payload(), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def family_key(self) -> str:
+        """Content key minus geometry — the warm-start neighborhood."""
+        blob = json.dumps(self._content_payload(with_geometry=False), sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def class_key(self) -> str:
+        """Failure-domain key for the circuit breaker: jobs of one
+        (kind, molecule, basis) class fail together when e.g. the
+        chemistry stage for that molecule is broken."""
+        return f"{self.kind}:{self.molecule}:{self.basis}"
+
+    # -- (de)serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
+        if not isinstance(payload, dict):
+            raise SpecError("job spec must be a JSON object")
+        version = payload.get("version", None)
+        if version != SPEC_VERSION:
+            raise SpecError(
+                f"job spec version {version!r} not supported "
+                f"(this server speaks version {SPEC_VERSION})"
+            )
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        unknown = set(payload) - known
+        if unknown:
+            raise SpecError(f"job spec has unknown field(s): {sorted(unknown)}")
+        try:
+            return cls(**payload)
+        except TypeError as err:
+            raise SpecError(f"malformed job spec: {err}") from err
+
+
+def resolve_molecule(name: str, geometry: Optional[float] = None):
+    """Build the molecule for a spec (factories take one scan param)."""
+    from repro.chem.molecule import h2, h2o, h4_chain, lih
+
+    factories = {"h2": h2, "h2o": h2o, "h4": h4_chain, "lih": lih}
+    try:
+        factory = factories[name.lower()]
+    except KeyError:
+        raise SpecError(
+            f"unknown molecule {name!r}; choose from {sorted(factories)}"
+        ) from None
+    if geometry is None:
+        return factory()
+    if name.lower() == "h2o":
+        raise SpecError("h2o does not take a scalar geometry parameter")
+    return factory(float(geometry))

@@ -1,0 +1,212 @@
+"""Content-addressed store backing the campaign server.
+
+Three tiers, addressed by the hashes of :mod:`repro.serve.spec`:
+
+* **Results** (disk, ``results/<content_key>.json``): the terminal
+  output of a job keyed by its physics content.  A second submission
+  of the same problem — same or different tenant — completes
+  immediately from the stored result (a *dedup hit*): replaying work
+  the fleet has already paid for would be the opposite of throughput.
+  Writes are atomic (temp + ``os.replace``) and idempotent, so journal
+  replay can re-put a result without harm.
+* **Warm starts** (disk, ``warm/<family_key>.json``): converged
+  parameter vectors indexed by geometry within a molecule family.
+  A new geometry starts from its nearest converged neighbor —
+  ``repro.core.scan``'s incremental optimization, applied across jobs
+  and tenants instead of within one scan loop.
+* **Compiled artifacts** (memory): per content key, the built problem
+  (Hamiltonian, pool/generators, reference state) is constructed once
+  and shared by every job at that key.  Because the compiled-plan
+  (``repro.sim.plan``) and compiled-observable (``repro.ir.compiled``)
+  engines memoize on the *object*, sharing the objects is what makes
+  their caches hit across jobs — the expensive compile happens once
+  per distinct problem per server process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.serve.spec import JobSpec, resolve_molecule
+
+__all__ = ["ContentStore", "ProblemCache"]
+
+
+def _atomic_write_json(payload: dict, path: str) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(payload, fh)
+    os.replace(tmp, path)
+
+
+class ContentStore:
+    """Disk-backed, content-addressed results + warm-start index."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self._results_dir = os.path.join(root, "results")
+        self._warm_dir = os.path.join(root, "warm")
+        os.makedirs(self._results_dir, exist_ok=True)
+        os.makedirs(self._warm_dir, exist_ok=True)
+
+    # -- results --------------------------------------------------------------
+
+    def _result_path(self, content_key: str) -> str:
+        return os.path.join(self._results_dir, f"{content_key}.json")
+
+    def get_result(self, content_key: str) -> Optional[Dict[str, Any]]:
+        path = self._result_path(content_key)
+        if not os.path.isfile(path):
+            return None
+        try:
+            with open(path) as fh:
+                return json.load(fh)
+        except (json.JSONDecodeError, OSError):
+            # a torn result write is treated as absent: the journal
+            # still holds the lifecycle, the job will simply recompute
+            return None
+
+    def put_result(self, content_key: str, result: Dict[str, Any]) -> None:
+        """Idempotent: re-putting the same key just overwrites with the
+        same content (journal replay safety)."""
+        _atomic_write_json(result, self._result_path(content_key))
+
+    def has_result(self, content_key: str) -> bool:
+        return os.path.isfile(self._result_path(content_key))
+
+    def num_results(self) -> int:
+        return sum(1 for f in os.listdir(self._results_dir) if f.endswith(".json"))
+
+    # -- warm starts ----------------------------------------------------------
+
+    def _warm_path(self, family_key: str) -> str:
+        return os.path.join(self._warm_dir, f"{family_key}.json")
+
+    def _load_warm(self, family_key: str) -> List[Dict[str, Any]]:
+        path = self._warm_path(family_key)
+        if not os.path.isfile(path):
+            return []
+        try:
+            with open(path) as fh:
+                entries = json.load(fh)
+            return entries if isinstance(entries, list) else []
+        except (json.JSONDecodeError, OSError):
+            return []
+
+    def add_warm_start(
+        self, family_key: str, geometry: Optional[float], parameters: np.ndarray
+    ) -> None:
+        """Record a converged parameter vector for its geometry (one
+        entry per geometry, last write wins)."""
+        entries = [
+            e for e in self._load_warm(family_key) if e.get("geometry") != geometry
+        ]
+        entries.append(
+            {
+                "geometry": geometry,
+                "parameters": [float(x) for x in np.atleast_1d(parameters)],
+            }
+        )
+        _atomic_write_json(entries, self._warm_path(family_key))  # type: ignore[arg-type]
+
+    def warm_start(
+        self, family_key: str, geometry: Optional[float], num_parameters: int
+    ) -> Optional[np.ndarray]:
+        """Nearest-geometry converged parameters with a matching length,
+        or None if the family is empty."""
+        entries = [
+            e
+            for e in self._load_warm(family_key)
+            if len(e.get("parameters", [])) == num_parameters
+        ]
+        if not entries:
+            return None
+        if geometry is None:
+            best = entries[-1]
+        else:
+            best = min(
+                entries,
+                key=lambda e: (
+                    abs(e["geometry"] - geometry)
+                    if e.get("geometry") is not None
+                    else float("inf")
+                ),
+            )
+        return np.asarray(best["parameters"], dtype=float)
+
+
+class ProblemCache:
+    """In-memory cache of built problems, keyed by spec content.
+
+    ``get(spec)`` returns a dict holding the qubit Hamiltonian, the
+    reference state, and (per kind) the UCCSD generators or the ADAPT
+    pool — built once per distinct content key and shared, so the
+    compiled-observable/compiled-plan memoization downstream hits
+    across every job of the same problem.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, Dict[str, Any]] = {}
+        self.builds = 0
+        self.hits = 0
+
+    def get(self, spec: JobSpec) -> Dict[str, Any]:
+        key = spec.content_key()
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            if obs.enabled():
+                obs.inc(
+                    "repro_serve_problem_cache_hits_total",
+                    help="Problem-cache hits (shared compiled artifacts)",
+                )
+            return cached
+        problem = self._build(spec)
+        self._cache[key] = problem
+        self.builds += 1
+        if obs.enabled():
+            obs.inc(
+                "repro_serve_problem_cache_builds_total",
+                help="Distinct problems built by the campaign server",
+            )
+        return problem
+
+    @staticmethod
+    def _build(spec: JobSpec) -> Dict[str, Any]:
+        from repro.chem.hamiltonian import build_molecular_hamiltonian
+        from repro.chem.pools import uccsd_pool
+        from repro.chem.reference import hartree_fock_state
+        from repro.chem.scf import run_rhf
+        from repro.chem.uccsd import uccsd_generators
+
+        with obs.span(
+            "serve.build_problem", molecule=spec.molecule, kind=spec.kind
+        ):
+            molecule = resolve_molecule(spec.molecule, spec.geometry)
+            scf = run_rhf(molecule)
+            hamiltonian = build_molecular_hamiltonian(scf)
+            hq = hamiltonian.to_qubit()
+            n_so = hamiltonian.num_spin_orbitals
+            n_e = hamiltonian.num_electrons
+            problem: Dict[str, Any] = {
+                "hamiltonian": hq,
+                "num_qubits": n_so,
+                "num_electrons": n_e,
+                "reference": hartree_fock_state(n_so, n_e),
+                "scf_energy": scf.energy,
+            }
+            if spec.kind == "adapt":
+                problem["pool"] = uccsd_pool(n_so, n_e)
+            else:
+                problem["generators"] = [
+                    a for _, a in uccsd_generators(n_so, n_e)
+                ]
+        return problem
+
+    def __len__(self) -> int:
+        return len(self._cache)

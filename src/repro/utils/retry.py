@@ -8,6 +8,16 @@ to a clock object (``repro.hpc.perfmodel.SimulatedClock``) instead of
 ``time.sleep``, so tests and benchmarks account for recovery latency
 without ever blocking, and a seeded jitter RNG keeps every retry
 schedule reproducible.
+
+On top of the per-operation :class:`RetryPolicy` sit two fleet-level
+guards used by the campaign server (``repro.serve``):
+
+* :class:`RetryBudget` — a token bucket capping the *global* retry
+  rate, so a correlated failure burst cannot turn into a retry storm
+  that starves first-attempt work.
+* :class:`CircuitBreaker` — a closed/open/half-open breaker per job
+  class, so a job class that fails repeatedly is rejected fast for a
+  cooldown instead of burning its full retry schedule every time.
 """
 
 from __future__ import annotations
@@ -17,7 +27,13 @@ from typing import Callable, Optional, Tuple, Type
 
 import numpy as np
 
-__all__ = ["RetryExhaustedError", "RetryStats", "RetryPolicy"]
+__all__ = [
+    "RetryExhaustedError",
+    "RetryStats",
+    "RetryPolicy",
+    "RetryBudget",
+    "CircuitBreaker",
+]
 
 
 class RetryExhaustedError(RuntimeError):
@@ -120,3 +136,92 @@ class RetryPolicy:
         self.stats.failures += 1
         assert last is not None
         raise RetryExhaustedError(self.max_attempts, last) from last
+
+
+@dataclass
+class RetryBudget:
+    """Token bucket bounding the global retry rate.
+
+    Every retry spends one token; tokens refill at ``refill_per_s``
+    (against whatever clock the caller passes to :meth:`spend`) up to
+    ``capacity``.  When the bucket is empty the retry is *denied* —
+    the operation fails immediately instead of joining a retry storm.
+    """
+
+    capacity: float = 16.0
+    refill_per_s: float = 1.0
+    tokens: float = field(init=False)
+    denied: int = field(init=False, default=0)
+    spent: int = field(init=False, default=0)
+    _last_refill: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0 or self.refill_per_s < 0:
+            raise ValueError("capacity must be > 0 and refill_per_s >= 0")
+        self.tokens = self.capacity
+
+    def _refill(self, now: float) -> None:
+        dt = max(0.0, now - self._last_refill)
+        self._last_refill = now
+        self.tokens = min(self.capacity, self.tokens + dt * self.refill_per_s)
+
+    def spend(self, now: float = 0.0) -> bool:
+        """Try to spend one retry token at time ``now``; False = denied."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.denied += 1
+        return False
+
+
+@dataclass
+class CircuitBreaker:
+    """Closed / open / half-open breaker for one failure domain.
+
+    ``failure_threshold`` consecutive failures trip the breaker open;
+    while open, :meth:`allow` is False (callers should fail fast).
+    After ``cooldown_s`` the breaker half-opens and admits one probe:
+    a success closes it again, a failure re-opens it for another
+    cooldown.  All timing runs on timestamps the caller supplies, so
+    the breaker is deterministic under simulated clocks.
+    """
+
+    failure_threshold: int = 3
+    cooldown_s: float = 60.0
+    state: str = field(init=False, default="closed")
+    consecutive_failures: int = field(init=False, default=0)
+    opened_at: float = field(init=False, default=0.0)
+    trips: int = field(init=False, default=0)
+    rejections: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be >= 0")
+
+    def allow(self, now: float = 0.0) -> bool:
+        """May an operation in this domain start at time ``now``?"""
+        if self.state == "open":
+            if now - self.opened_at >= self.cooldown_s:
+                self.state = "half_open"
+                return True
+            self.rejections += 1
+            return False
+        return True  # closed or half-open (one probe already admitted)
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        self.state = "closed"
+
+    def record_failure(self, now: float = 0.0) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == "half_open"
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = "open"
+            self.opened_at = now
+            self.trips += 1

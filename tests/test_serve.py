@@ -1,0 +1,761 @@
+"""Tests for the campaign server (``repro.serve``).
+
+Covers the journal (CRC, torn tails, idempotent replay — the last
+pinned with a Hypothesis property), the content store and warm-start
+index, admission control and shedding, deadlines/timeouts, circuit
+breakers, and the headline robustness claims: kill-and-restart resume
+with energies matching an uninterrupted run, no duplicated work, and
+graceful degradation on rank loss.
+"""
+
+import json
+import os
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hpc.faults import FaultSpec
+from repro.serve import (
+    AdmissionController,
+    CampaignServer,
+    ContentStore,
+    Journal,
+    JournalCorruptionError,
+    JournalRecord,
+    JobSpec,
+    JobState,
+    ServerConfig,
+    SpecError,
+    TenantPolicy,
+    load_state_view,
+)
+from repro.serve.server import _ServerState
+
+
+# -- specs --------------------------------------------------------------------
+
+
+class TestJobSpec:
+    def test_content_key_ignores_tenant_and_priority(self):
+        a = JobSpec(tenant="alice", molecule="h2", priority=5)
+        b = JobSpec(tenant="bob", molecule="h2", priority=0)
+        assert a.content_key() == b.content_key()
+
+    def test_content_key_distinguishes_physics(self):
+        a = JobSpec(tenant="t", molecule="h2")
+        b = JobSpec(tenant="t", molecule="h2", geometry=0.9)
+        c = JobSpec(tenant="t", molecule="h4")
+        assert len({a.content_key(), b.content_key(), c.content_key()}) == 3
+
+    def test_family_key_ignores_geometry(self):
+        a = JobSpec(tenant="t", molecule="h2", geometry=0.7)
+        b = JobSpec(tenant="t", molecule="h2", geometry=1.1)
+        assert a.family_key() == b.family_key()
+        assert a.content_key() != b.content_key()
+
+    def test_roundtrip(self):
+        spec = JobSpec(tenant="t", kind="adapt", molecule="lih", deadline_s=10.0)
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rejects_bad_kind_and_tenant(self):
+        with pytest.raises(SpecError):
+            JobSpec(tenant="t", kind="qpe")
+        with pytest.raises(SpecError):
+            JobSpec(tenant="")
+
+    def test_rejects_unknown_version_and_fields(self):
+        payload = JobSpec(tenant="t").to_dict()
+        payload["version"] = 99
+        with pytest.raises(SpecError, match="version"):
+            JobSpec.from_dict(payload)
+        payload = JobSpec(tenant="t").to_dict()
+        payload["frobnicate"] = 1
+        with pytest.raises(SpecError, match="unknown field"):
+            JobSpec.from_dict(payload)
+
+
+# -- journal ------------------------------------------------------------------
+
+
+class TestJournal:
+    def test_append_replay_roundtrip(self, tmp_path):
+        j = Journal(str(tmp_path / "j.jsonl"))
+        j.append("a", x=1)
+        j.append("b", y=[1, 2])
+        j.close()
+        records = Journal(str(tmp_path / "j.jsonl")).replay()
+        assert [(r.seq, r.type) for r in records] == [(1, "a"), (2, "b")]
+        assert records[1].payload == {"y": [1, 2]}
+
+    def test_reopen_continues_sequence(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        j = Journal(path)
+        j.append("a")
+        j.close()
+        j2 = Journal(path)
+        rec = j2.append("b")
+        assert rec.seq == 2
+
+    def test_torn_tail_dropped(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        j = Journal(path)
+        j.append("a", x=1)
+        j.append("b", x=2)
+        j.close()
+        with open(path, "a") as fh:
+            fh.write('{"seq": 3, "type": "c", "pa')  # crash mid-append
+        records = Journal(path).replay()
+        assert [r.type for r in records] == ["a", "b"]
+
+    def test_midfile_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        j = Journal(path)
+        j.append("a", x=1)
+        j.append("b", x=2)
+        j.close()
+        lines = open(path).read().splitlines()
+        lines[0] = lines[0].replace('"x":1', '"x":9')  # flip a byte mid-file
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorruptionError):
+            Journal(path).replay()
+
+    def test_crc_detects_tampering(self):
+        rec = JournalRecord(seq=1, type="t", payload={"k": "v"})
+        line = rec.to_line()
+        assert JournalRecord.from_line(line).payload == {"k": "v"}
+        bad = line.replace('"v"', '"w"')
+        with pytest.raises(ValueError):
+            JournalRecord.from_line(bad)
+        obj = json.loads(line)
+        assert obj["crc"] == zlib.crc32(
+            json.dumps(
+                {"seq": 1, "type": "t", "payload": {"k": "v"}},
+                sort_keys=True,
+                separators=(",", ":"),
+            ).encode()
+        )
+
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.sampled_from(["admitted", "started", "retry", "completed"]),
+                st.integers(min_value=0, max_value=5),
+            ),
+            min_size=1,
+            max_size=20,
+        ),
+        cut=st.integers(min_value=0, max_value=20),
+    )
+    def test_replay_idempotence(self, records, cut):
+        """Folding any prefix of the journal twice yields exactly the
+        same state as folding it once: replay cannot double-apply a
+        transition, so a crash-loop of restarts never duplicates work.
+        """
+        recs = []
+        for seq, (rtype, jnum) in enumerate(records, start=1):
+            job_id = f"j{jnum}"
+            if rtype == "admitted":
+                payload = {
+                    "job_id": job_id,
+                    "spec": JobSpec(tenant=f"t{jnum}").to_dict(),
+                    "submission_id": None,
+                }
+            else:
+                payload = {"job_id": job_id, "attempt": 1, "energy": -1.0}
+            recs.append(JournalRecord(seq=seq, type=rtype, payload=payload))
+        prefix = recs[: min(cut, len(recs))]
+
+        def snapshot(state):
+            return (
+                {jid: (j.state, j.attempts) for jid, j in state.jobs.items()},
+                list(state.order),
+                state.last_seq,
+            )
+
+        once = _ServerState()
+        for r in prefix:
+            once.apply(r)
+        twice = _ServerState()
+        for r in prefix:
+            twice.apply(r)
+        for r in prefix:  # replay the same prefix again
+            twice.apply(r)
+        assert snapshot(once) == snapshot(twice)
+        # and continuing with the full journal still converges
+        for r in recs:
+            once.apply(r)
+            twice.apply(r)
+        assert snapshot(once) == snapshot(twice)
+
+
+# -- content store ------------------------------------------------------------
+
+
+class TestContentStore:
+    def test_results_roundtrip_and_idempotence(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        assert store.get_result("k") is None
+        store.put_result("k", {"energy": -1.5})
+        store.put_result("k", {"energy": -1.5})  # replay-safe
+        assert store.get_result("k") == {"energy": -1.5}
+        assert store.num_results() == 1
+
+    def test_torn_result_read_as_absent(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        store.put_result("k", {"energy": -1.0})
+        path = os.path.join(str(tmp_path), "results", "k.json")
+        with open(path, "w") as fh:
+            fh.write('{"ener')  # torn write
+        assert store.get_result("k") is None
+
+    def test_warm_start_picks_nearest_geometry(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        store.add_warm_start("fam", 0.7, np.array([0.1, 0.2]))
+        store.add_warm_start("fam", 1.5, np.array([0.8, 0.9]))
+        got = store.warm_start("fam", 0.8, 2)
+        np.testing.assert_allclose(got, [0.1, 0.2])
+        got = store.warm_start("fam", 1.4, 2)
+        np.testing.assert_allclose(got, [0.8, 0.9])
+
+    def test_warm_start_filters_length_mismatch(self, tmp_path):
+        store = ContentStore(str(tmp_path))
+        store.add_warm_start("fam", 0.7, np.array([0.1, 0.2]))
+        assert store.warm_start("fam", 0.7, 3) is None
+
+
+# -- admission ----------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_tenant_and_global_bounds(self):
+        ctl = AdmissionController(
+            global_queue_limit=4,
+            default_policy=TenantPolicy(max_queued=2),
+        )
+        assert ctl.decide("t", tenant_queued=0, total_queued=0).admitted
+        d = ctl.decide("t", tenant_queued=2, total_queued=2)
+        assert not d.admitted and "tenant" in d.reason
+        d = ctl.decide("t", tenant_queued=0, total_queued=4)
+        assert not d.admitted and "backpressure" in d.reason
+
+    def test_draining_and_breaker_reject(self):
+        ctl = AdmissionController()
+        assert not ctl.decide("t", 0, 0, draining=True).admitted
+        d = ctl.decide("t", 0, 0, breaker_open=True)
+        assert not d.admitted and "breaker" in d.reason
+
+    def test_shed_victims_lowest_priority_newest_first(self):
+        class J:
+            def __init__(self, name, priority, seq):
+                self.name, self.priority, self.submitted_seq = name, priority, seq
+
+        jobs = [J("hi", 2, 1), J("old-low", 0, 2), J("new-low", 0, 3), J("mid", 1, 4)]
+        victims = AdmissionController.shed_victims(jobs, 2)
+        assert [v.name for v in victims] == ["new-low", "old-low"]
+        assert AdmissionController.shed_victims(jobs, 0) == []
+
+
+# -- server: fast paths (no chemistry) ----------------------------------------
+
+
+def _server(tmp_path, name="srv", **cfg):
+    cfg.setdefault("num_ranks", 2)
+    return CampaignServer(str(tmp_path / name), ServerConfig(**cfg))
+
+
+class TestServerAdmission:
+    def test_rejection_is_terminal_and_journaled(self, tmp_path):
+        srv = _server(
+            tmp_path,
+            default_tenant_policy=TenantPolicy(max_queued=1),
+        )
+        a = srv.submit(JobSpec(tenant="t", molecule="h2"))
+        b = srv.submit(JobSpec(tenant="t", molecule="h4"))
+        assert a.state == JobState.QUEUED
+        assert b.state == JobState.REJECTED
+        assert "backpressure" in b.detail
+        # the rejection survives a restart
+        srv.close()
+        srv2 = CampaignServer(srv.state_dir, srv.config)
+        assert srv2.jobs[b.job_id].state == JobState.REJECTED
+
+    def test_draining_rejects_new_work(self, tmp_path):
+        srv = _server(tmp_path)
+        srv.drain()
+        job = srv.submit(JobSpec(tenant="t"))
+        assert job.state == JobState.REJECTED
+        assert "draining" in job.detail
+
+    def test_duplicate_submission_id_is_idempotent(self, tmp_path):
+        srv = _server(tmp_path)
+        a = srv.submit(JobSpec(tenant="t"), submission_id="s1")
+        b = srv.submit(JobSpec(tenant="t"), submission_id="s1")
+        assert a.job_id == b.job_id
+        assert len(srv.jobs) == 1
+
+    def test_inbox_spool_ingestion(self, tmp_path):
+        srv = _server(tmp_path)
+        spec = JobSpec(tenant="t", molecule="h2")
+        path = os.path.join(srv.inbox_dir, "sub1.json")
+        with open(path, "w") as fh:
+            json.dump(spec.to_dict(), fh)
+        assert srv._poll_inbox() == 1
+        assert not os.path.exists(path)
+        assert len(srv.jobs) == 1
+        assert next(iter(srv.jobs.values())).submission_id == "sub1"
+
+    def test_malformed_inbox_file_rejected_not_crash(self, tmp_path):
+        srv = _server(tmp_path)
+        with open(os.path.join(srv.inbox_dir, "bad.json"), "w") as fh:
+            fh.write("{not json")
+        srv._poll_inbox()
+        (job,) = srv.jobs.values()
+        assert job.state == JobState.REJECTED
+        assert "malformed" in job.detail
+
+
+class TestServerDegradation:
+    def test_rank_loss_requeues_and_sheds(self, tmp_path):
+        srv = _server(
+            tmp_path,
+            num_ranks=2,
+            global_queue_limit=4,
+        )
+        # fill the queue to the global bound with cheap specs
+        for k in range(4):
+            srv.submit(
+                JobSpec(tenant=f"t{k}", molecule="h2", geometry=0.6 + 0.1 * k,
+                        priority=k)
+            )
+        srv.inject_rank_loss(1)
+        assert srv.alive_ranks == [0]
+        srv._shed_overload()  # effective limit: 4 * 1/2 = 2
+        by_state = {}
+        for j in srv.jobs.values():
+            by_state.setdefault(j.state, []).append(j)
+        assert len(by_state[JobState.SHED]) == 2
+        # lowest-priority jobs were the victims
+        assert {j.spec.priority for j in by_state[JobState.SHED]} == {0, 1}
+        assert srv.health()["status"] == "degraded"
+
+    def test_all_ranks_lost_not_ready(self, tmp_path):
+        srv = _server(tmp_path, num_ranks=2)
+        srv.inject_rank_loss(0)
+        srv.inject_rank_loss(1)
+        health = srv.health()
+        assert health["status"] == "unavailable"
+        assert not health["ready"]
+
+    def test_rank_loss_survives_restart(self, tmp_path):
+        srv = _server(tmp_path)
+        srv.inject_rank_loss(0)
+        srv.close()
+        srv2 = CampaignServer(srv.state_dir, srv.config)
+        assert srv2.alive_ranks == [1]
+
+
+class TestServerRetryAndBreaker:
+    def test_failing_job_retries_then_fails(self, tmp_path, monkeypatch):
+        clock = {"t": 0.0}
+        srv = _server(
+            tmp_path,
+            max_job_attempts=2,
+            clock=lambda: clock["t"],
+        )
+        job = srv.submit(JobSpec(tenant="t", molecule="h2"))
+
+        import repro.serve.server as server_mod
+
+        class Boom:
+            def __init__(self, *a, **kw):
+                pass
+
+            def step(self):
+                raise RuntimeError("injected execution failure")
+
+        monkeypatch.setattr(server_mod, "_JobExecution", Boom)
+        # also skip problem building (Boom never uses it)
+        monkeypatch.setattr(srv.problems, "get", lambda spec: {})
+        srv.tick()
+        assert srv.jobs[job.job_id].state == JobState.QUEUED  # retry scheduled
+        assert srv.jobs[job.job_id].attempts == 1
+        clock["t"] += 10.0  # past the backoff delay
+        srv.tick()
+        assert srv.jobs[job.job_id].state == JobState.FAILED
+        assert "injected execution failure" in srv.jobs[job.job_id].detail
+
+    def test_breaker_opens_and_rejects_class(self, tmp_path, monkeypatch):
+        clock = {"t": 0.0}
+        srv = _server(
+            tmp_path,
+            max_job_attempts=1,  # every failure is terminal
+            breaker_failure_threshold=2,
+            breaker_cooldown_s=60.0,
+            clock=lambda: clock["t"],
+        )
+        import repro.serve.server as server_mod
+
+        class Boom:
+            def __init__(self, *a, **kw):
+                pass
+
+            def step(self):
+                raise RuntimeError("boom")
+
+        monkeypatch.setattr(server_mod, "_JobExecution", Boom)
+        monkeypatch.setattr(srv.problems, "get", lambda spec: {})
+        for _ in range(2):
+            srv.submit(JobSpec(tenant="t", molecule="h2"))
+            srv.tick()
+            clock["t"] += 1.0
+        assert srv.breakers["vqe:h2:sto-3g"].state == "open"
+        # same class now rejected at admission; other classes admitted
+        rej = srv.submit(JobSpec(tenant="t", molecule="h2"))
+        assert rej.state == JobState.REJECTED
+        assert "breaker" in rej.detail
+        ok = srv.submit(JobSpec(tenant="t", molecule="h4"))
+        assert ok.state == JobState.QUEUED
+        # after the cooldown the breaker half-opens and admits a probe
+        clock["t"] += 61.0
+        probe = srv.submit(JobSpec(tenant="t", molecule="h2"))
+        assert probe.state == JobState.QUEUED
+
+    def test_retry_budget_denial_fails_fast(self, tmp_path, monkeypatch):
+        clock = {"t": 0.0}
+        srv = _server(
+            tmp_path,
+            max_job_attempts=5,
+            retry_budget_capacity=1.0,
+            retry_budget_refill_per_s=0.0,
+            clock=lambda: clock["t"],
+        )
+        import repro.serve.server as server_mod
+
+        class Boom:
+            def __init__(self, *a, **kw):
+                pass
+
+            def step(self):
+                raise RuntimeError("boom")
+
+        monkeypatch.setattr(server_mod, "_JobExecution", Boom)
+        monkeypatch.setattr(srv.problems, "get", lambda spec: {})
+        job = srv.submit(JobSpec(tenant="t", molecule="h2"))
+        srv.tick()  # attempt 1 fails; one retry token spent
+        assert srv.jobs[job.job_id].state == JobState.QUEUED
+        clock["t"] += 10.0
+        srv.tick()  # attempt 2 fails; budget empty -> terminal
+        assert srv.jobs[job.job_id].state == JobState.FAILED
+
+
+class TestServerDeadlines:
+    def test_deadline_times_out_before_stepping(self, tmp_path):
+        clock = {"t": 0.0}
+        srv = _server(tmp_path, clock=lambda: clock["t"])
+        job = srv.submit(JobSpec(tenant="t", molecule="h2", deadline_s=5.0))
+        clock["t"] = 10.0  # the job waited past its deadline in queue
+        srv.tick()
+        assert srv.jobs[job.job_id].state == JobState.TIMED_OUT
+        assert "deadline" in srv.jobs[job.job_id].detail
+
+    def test_timeout_on_execution_budget(self, tmp_path, monkeypatch):
+        srv = _server(tmp_path)
+        job = srv.submit(JobSpec(tenant="t", molecule="h2", timeout_s=0.5))
+        srv.jobs[job.job_id].exec_s = 1.0  # pretend we burned the budget
+        import repro.serve.server as server_mod
+
+        class Slow:
+            def __init__(self, *a, **kw):
+                pass
+
+            def step(self):
+                return None  # never finishes
+
+        monkeypatch.setattr(server_mod, "_JobExecution", Slow)
+        monkeypatch.setattr(srv.problems, "get", lambda spec: {})
+        srv.tick()  # dispatch
+        srv.tick()  # budget check fires before the next step
+        assert srv.jobs[job.job_id].state == JobState.TIMED_OUT
+        assert "budget" in srv.jobs[job.job_id].detail
+
+
+# -- server: real physics (small problems only) -------------------------------
+
+
+class TestServerEndToEnd:
+    def test_concurrent_campaigns_kill_restart_resume(self, tmp_path):
+        """The headline robustness claim: kill the server mid-flight
+        with several campaigns in progress, restart it, and every job
+        reaches the same energy as an uninterrupted run — completed
+        jobs are not re-run, in-flight jobs resume from checkpoints."""
+        specs = [
+            JobSpec(tenant="alice", kind="adapt", molecule="h2", max_iterations=3),
+            JobSpec(tenant="bob", kind="vqe", molecule="h2", geometry=0.9),
+            JobSpec(tenant="carol", kind="adapt", molecule="h4", max_iterations=2),
+        ]
+        cfg = ServerConfig(num_ranks=2)
+
+        # uninterrupted control run
+        control = CampaignServer(str(tmp_path / "control"), cfg)
+        for s in specs:
+            control.submit(s)
+        control.run(stop_when_idle=True, max_ticks=60)
+        control_energies = {
+            j.spec.content_key(): j.energy for j in control.jobs.values()
+        }
+        assert all(j.state == JobState.SUCCEEDED for j in control.jobs.values())
+
+        # interrupted run: a couple of ticks, then a hard kill
+        srv = CampaignServer(str(tmp_path / "srv"), cfg)
+        for s in specs:
+            srv.submit(s)
+        srv.tick()
+        srv.tick()
+        completed_before_kill = {
+            j.job_id for j in srv.jobs.values() if j.state == JobState.SUCCEEDED
+        }
+        srv.close()  # kill -9: executions and caches are gone
+
+        srv2 = CampaignServer(str(tmp_path / "srv"), cfg)
+        # whatever was running is queued again; completed stayed terminal
+        for job_id in completed_before_kill:
+            assert srv2.jobs[job_id].state == JobState.SUCCEEDED
+        srv2.run(stop_when_idle=True, max_ticks=60)
+        assert all(j.state == JobState.SUCCEEDED for j in srv2.jobs.values())
+        for j in srv2.jobs.values():
+            assert j.energy == pytest.approx(
+                control_energies[j.spec.content_key()], abs=1e-8
+            )
+        # no duplicated work: each completed job completed exactly once
+        completions = {}
+        for rec in Journal(os.path.join(srv2.state_dir, "journal.jsonl")).replay():
+            if rec.type == "completed":
+                jid = rec.payload["job_id"]
+                completions[jid] = completions.get(jid, 0) + 1
+        assert all(n == 1 for n in completions.values())
+        # jobs finished before the kill were never started again after it
+        recs = Journal(os.path.join(srv2.state_dir, "journal.jsonl")).replay()
+        recovered_at = max(
+            (r.seq for r in recs if r.type == "recovered"), default=0
+        )
+        for r in recs:
+            if r.type == "started" and r.seq > recovered_at:
+                assert r.payload["job_id"] not in completed_before_kill
+
+    def test_dedup_across_tenants(self, tmp_path):
+        srv = _server(tmp_path)
+        a = srv.submit(JobSpec(tenant="alice", molecule="h2"))
+        b = srv.submit(JobSpec(tenant="bob", molecule="h2"))
+        srv.run(stop_when_idle=True, max_ticks=30)
+        ja, jb = srv.jobs[a.job_id], srv.jobs[b.job_id]
+        assert ja.state == jb.state == JobState.SUCCEEDED
+        assert ja.energy == pytest.approx(jb.energy, abs=1e-12)
+        # exactly one of the two actually computed
+        assert ja.dedup_hit != jb.dedup_hit
+        assert srv.store.num_results() == 1
+
+    def test_warm_start_within_family(self, tmp_path):
+        srv = _server(tmp_path, num_ranks=1)
+        srv.submit(JobSpec(tenant="t", molecule="h2", geometry=0.74))
+        srv.run(stop_when_idle=True, max_ticks=30)
+        second = srv.submit(JobSpec(tenant="t", molecule="h2", geometry=0.8))
+        srv.run(stop_when_idle=True, max_ticks=30)
+        job = srv.jobs[second.job_id]
+        assert job.state == JobState.SUCCEEDED
+        assert job.warm_started
+
+    def test_rank_loss_mid_service_all_jobs_finish(self, tmp_path):
+        cfg = ServerConfig(
+            num_ranks=2,
+            fault_specs=[
+                FaultSpec(kind="rank_crash", rank=1, probability=1.0, scope="batch")
+            ],
+        )
+        srv = CampaignServer(str(tmp_path / "srv"), cfg)
+        for k in range(3):
+            srv.submit(JobSpec(tenant=f"t{k}", molecule="h2", geometry=0.7 + 0.1 * k))
+        srv.run(stop_when_idle=True, max_ticks=60)
+        assert srv.state.lost_ranks == {1}
+        assert all(
+            j.state == JobState.SUCCEEDED for j in srv.jobs.values()
+        ), {j.job_id: j.state for j in srv.jobs.values()}
+
+    def test_drain_finishes_in_flight_rejects_new(self, tmp_path):
+        srv = _server(tmp_path)
+        first = srv.submit(JobSpec(tenant="t", molecule="h2"))
+        srv.tick()  # dispatch it
+        srv.drain()
+        late = srv.submit(JobSpec(tenant="t", molecule="h4"))
+        assert late.state == JobState.REJECTED
+        srv.run(max_ticks=30)
+        assert srv.jobs[first.job_id].state == JobState.SUCCEEDED
+
+    def test_status_view_matches_server(self, tmp_path):
+        srv = _server(tmp_path)
+        srv.submit(JobSpec(tenant="t", molecule="h2"))
+        srv.run(stop_when_idle=True, max_ticks=30)
+        view = load_state_view(srv.state_dir)
+        assert view["by_state"] == {JobState.SUCCEEDED: 1}
+        assert view["health"]["status"] == "ready"
+        assert view["jobs"][0]["energy"] == pytest.approx(
+            next(iter(srv.jobs.values())).energy
+        )
+
+
+# -- satellite: checkpoint schema guard ---------------------------------------
+
+
+class TestCheckpointSchemaGuard:
+    """Checkpoint loads fail with a clear schema error, never a raw
+    KeyError or an unpickling crash."""
+
+    @staticmethod
+    def _adapt(tmp_path):
+        from repro.core.adapt import AdaptVQE
+        from repro.serve.store import ProblemCache
+
+        problem = ProblemCache().get(JobSpec(tenant="t", kind="adapt"))
+        return AdaptVQE(
+            problem["hamiltonian"],
+            problem["pool"],
+            problem["reference"],
+            max_iterations=2,
+        )
+
+    def _write(self, tmp_path, payload):
+        (tmp_path / "adapt_state.json").write_text(json.dumps(payload))
+
+    def test_future_version_rejected(self, tmp_path):
+        from repro.core.campaign import CampaignRunner, CheckpointSchemaError
+
+        self._write(tmp_path, {"version": 99})
+        with pytest.raises(CheckpointSchemaError, match="upgrade"):
+            CampaignRunner(str(tmp_path)).load_adapt_state(self._adapt(tmp_path))
+
+    def test_stale_version_rejected(self, tmp_path):
+        from repro.core.campaign import CampaignRunner, CheckpointSchemaError
+
+        self._write(tmp_path, {"version": 0})
+        with pytest.raises(CheckpointSchemaError, match="stale"):
+            CampaignRunner(str(tmp_path)).load_adapt_state(self._adapt(tmp_path))
+
+    def test_missing_fields_rejected(self, tmp_path):
+        from repro.core.campaign import CampaignRunner, CheckpointSchemaError
+
+        self._write(tmp_path, {"version": 1, "iteration": 1})
+        with pytest.raises(CheckpointSchemaError, match="missing required"):
+            CampaignRunner(str(tmp_path)).load_adapt_state(self._adapt(tmp_path))
+
+    def test_non_dict_payload_rejected(self, tmp_path):
+        from repro.core.campaign import CampaignRunner, CheckpointSchemaError
+
+        (tmp_path / "adapt_state.json").write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointSchemaError):
+            CampaignRunner(str(tmp_path)).load_adapt_state(self._adapt(tmp_path))
+
+    def test_vqe_params_missing_field_rejected(self, tmp_path):
+        from repro.core.campaign import CampaignRunner, CheckpointSchemaError
+        from repro.core.vqe import VQE
+        from repro.serve.store import ProblemCache
+
+        (tmp_path / "vqe_params.json").write_text(
+            json.dumps({"version": 1, "parameters": [0.1]})  # no energy/eval
+        )
+        problem = ProblemCache().get(JobSpec(tenant="t", kind="vqe"))
+        vqe = VQE(
+            problem["hamiltonian"],
+            generators=problem["generators"],
+            reference_state=problem["reference"],
+        )
+        with pytest.raises(CheckpointSchemaError, match="missing required"):
+            CampaignRunner(str(tmp_path)).run_vqe(vqe)
+
+    def test_schema_errors_are_value_errors(self):
+        from repro.core.campaign import CheckpointSchemaError
+
+        assert issubclass(CheckpointSchemaError, ValueError)
+
+
+# -- satellite: per-fault-kind comm metrics -----------------------------------
+
+
+class TestCommFaultKindMetrics:
+    def test_fault_and_retry_counters_by_kind(self):
+        from repro.hpc.comm import SimComm
+        from repro.hpc.faults import FaultInjector
+        from repro.utils.retry import RetryPolicy
+
+        injector = FaultInjector(
+            [
+                FaultSpec("transient_exchange", at_step=0),
+                FaultSpec("corruption", at_step=1, bit_flips=1),
+            ],
+            seed=0,
+        )
+        comm = SimComm(
+            2,
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=4, seed=1),
+        )
+        a, b = np.arange(2.0), np.arange(2.0) + 5
+        comm.exchange([a, b], [1, 0])
+        assert comm.stats.faults_by_kind.get("transient_exchange", 0) >= 1
+        assert comm.stats.retries_by_kind.get("transient_exchange", 0) >= 1
+        # corruption fires on the second op (the retried exchange)
+        total_faults = sum(comm.stats.faults_by_kind.values())
+        total_retries = sum(comm.stats.retries_by_kind.values())
+        assert total_retries == comm.stats.retries
+        assert total_faults >= comm.stats.transient_errors
+
+    def test_obs_metrics_emitted_per_kind(self):
+        from repro import obs
+        from repro.hpc.comm import SimComm
+        from repro.hpc.faults import FaultInjector
+        from repro.utils.retry import RetryPolicy
+
+        obs.reset()
+        obs.configure(enabled=True)
+        try:
+            injector = FaultInjector(
+                [FaultSpec("transient_exchange", at_step=0)], seed=0
+            )
+            comm = SimComm(
+                2,
+                fault_injector=injector,
+                retry_policy=RetryPolicy(max_attempts=3, seed=1),
+            )
+            a, b = np.arange(2.0), np.arange(2.0) + 5
+            comm.exchange([a, b], [1, 0])
+            snaps = {
+                (s["name"], tuple(sorted((s.get("labels") or {}).items()))): s[
+                    "value"
+                ]
+                for s in obs.get_registry().snapshot()
+            }
+            key = (
+                "repro_comm_faults_total",
+                (("kind", "transient_exchange"),),
+            )
+            assert snaps.get(key, 0) >= 1
+            key = (
+                "repro_comm_retries_by_kind_total",
+                (("kind", "transient_exchange"),),
+            )
+            assert snaps.get(key, 0) >= 1
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_reset_clears_kind_maps(self):
+        from repro.hpc.comm import CommStats
+
+        stats = CommStats()
+        stats.record_fault("corruption")
+        stats.retries_by_kind["corruption"] = 2
+        stats.reset()
+        assert stats.faults_by_kind == {}
+        assert stats.retries_by_kind == {}
