@@ -12,9 +12,10 @@ loses at most the record being written.  Records carry:
   double-apply a transition.  ``tests/test_serve.py`` pins this with a
   Hypothesis property.
 * ``crc`` — CRC-32 of the canonical record body.  A torn final line
-  (the classic crash-mid-append artifact) is detected and dropped;
-  corruption *before* the tail is a real integrity violation and
-  raises :class:`JournalCorruptionError`.
+  (the classic crash-mid-append artifact) is detected, dropped on
+  replay, and truncated away before the next append so it can never
+  merge with a later record; corruption *before* the tail is a real
+  integrity violation and raises :class:`JournalCorruptionError`.
 
 The journal is the source of truth for job lifecycle; bulky state
 (checkpointed parameters, converged results) lives next door in the
@@ -28,7 +29,7 @@ import json
 import os
 import zlib
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 __all__ = ["JournalCorruptionError", "JournalRecord", "Journal"]
 
@@ -87,15 +88,42 @@ class Journal:
         self.fsync = fsync
         self._next_seq = 1
         self._fh = None
+        self._tail_repair: Optional[Tuple[str, int]] = None
         existing = self.replay()
         if existing:
             self._next_seq = existing[-1].seq + 1
 
     # -- writing --------------------------------------------------------------
 
+    def _repair_tail(self) -> None:
+        """Make the file safe to append to.
+
+        A torn final line would otherwise merge with the next appended
+        record ('a' mode writes directly after the partial bytes),
+        producing one unparseable line with valid records after it —
+        which the *following* replay would reject as mid-file
+        corruption.  So before the first append: truncate a torn tail
+        back to the end of the last intact record, and complete a
+        missing final newline.  Deliberately lazy (write path only), so
+        read-only users (``repro status``, the soak checker) never
+        mutate the journal.
+        """
+        if self._tail_repair is None or not os.path.isfile(self.path):
+            self._tail_repair = None
+            return
+        kind, offset = self._tail_repair
+        with open(self.path, "r+b") as fh:
+            if kind == "truncate":
+                fh.truncate(offset)
+            else:  # "newline": last record is intact but unterminated
+                fh.seek(0, os.SEEK_END)
+                fh.write(b"\n")
+        self._tail_repair = None
+
     def _ensure_open(self):
         if self._fh is None:
             os.makedirs(os.path.dirname(self.path) or ".", exist_ok=True)
+            self._repair_tail()
             self._fh = open(self.path, "a")
         return self._fh
 
@@ -125,34 +153,53 @@ class Journal:
         was corrupted in place and :class:`JournalCorruptionError` is
         raised — restoring from a good copy beats silently resuming
         from a hole in history.
+
+        Scanning also schedules a tail repair (applied before the next
+        append, see :meth:`_repair_tail`) so a tolerated torn tail is
+        physically removed rather than left to merge with future
+        records.
         """
+        self._tail_repair = None
         if not os.path.isfile(self.path):
             return []
+        with open(self.path, "rb") as fh:
+            data = fh.read()
         records: List[JournalRecord] = []
         bad_at: Optional[int] = None
-        with open(self.path) as fh:
-            for lineno, line in enumerate(fh, start=1):
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    rec = JournalRecord.from_line(line)
-                except (ValueError, KeyError) as err:
-                    if bad_at is None:
-                        bad_at = lineno
-                        last_err = err
-                    continue
-                if bad_at is not None:
-                    raise JournalCorruptionError(
-                        f"journal {self.path!r} line {bad_at} is corrupt "
-                        f"({last_err}) but intact records follow it — "
-                        "mid-file corruption, refusing to replay"
-                    )
-                if records and rec.seq <= records[-1].seq:
-                    # duplicate/out-of-order append (e.g. overlapping
-                    # replay written back); idempotent fold: skip it
-                    continue
-                records.append(rec)
+        valid_end = 0  # byte offset just past the last intact line
+        offset = 0
+        lineno = 0
+        for raw in data.splitlines(keepends=True):
+            lineno += 1
+            offset += len(raw)
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                if bad_at is None:
+                    valid_end = offset
+                continue
+            try:
+                rec = JournalRecord.from_line(line)
+            except (ValueError, KeyError) as err:
+                if bad_at is None:
+                    bad_at = lineno
+                    last_err = err
+                continue
+            if bad_at is not None:
+                raise JournalCorruptionError(
+                    f"journal {self.path!r} line {bad_at} is corrupt "
+                    f"({last_err}) but intact records follow it — "
+                    "mid-file corruption, refusing to replay"
+                )
+            valid_end = offset
+            if records and rec.seq <= records[-1].seq:
+                # duplicate/out-of-order append (e.g. overlapping
+                # replay written back); idempotent fold: skip it
+                continue
+            records.append(rec)
+        if bad_at is not None:
+            self._tail_repair = ("truncate", valid_end)
+        elif data and not data.endswith(b"\n"):
+            self._tail_repair = ("newline", len(data))
         return records
 
     def __iter__(self) -> Iterator[JournalRecord]:

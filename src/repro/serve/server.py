@@ -346,7 +346,21 @@ class CampaignServer:
         records = self.journal.replay()
         for rec in records:
             self.state.apply(rec)
-        self._job_counter = len(self.state.jobs)
+        # counter only backs jNNNNN ids allocated by submit(); synthetic
+        # ids (malformed-submission "bad-<id>" rejections) don't count
+        self._job_counter = sum(
+            1 for jid in self.state.jobs if jid.startswith("j")
+        )
+        # deadlines run on this process's clock (time.monotonic by
+        # default — an arbitrary since-boot epoch, incomparable across
+        # processes), so replayed jobs' admission times are meaningless
+        # here.  Re-base every non-terminal job to recovery time so a
+        # restart never spuriously times out resumed work; the deadline
+        # window restarts from recovery, which is the lenient choice.
+        now = self._now()
+        for job in self.state.jobs.values():
+            if not job.terminal:
+                job.admitted_at = now
         in_flight = [
             j for j in self.state.jobs.values() if j.state == JobState.RUNNING
         ]
@@ -453,7 +467,10 @@ class CampaignServer:
             tenant_queued=tenant_queued,
             total_queued=total_queued,
             draining=self.draining,
-            breaker_open=not breaker.allow(now),
+            # read-only check: admission is not an execution, so it
+            # must not flip open->half_open or consume the probe —
+            # the state-transitioning allow() runs at dispatch time
+            breaker_open=breaker.is_open(now),
         )
         if decision.admitted:
             rec = self.journal.append(
@@ -548,16 +565,16 @@ class CampaignServer:
                 "repro_serve_ranks_lost_total", help="Simulated worker ranks lost"
             )
 
-    def _check_rank_faults(self, rank: int) -> bool:
-        """Consult the fault injector at dispatch time; True = the rank
-        just died and the dispatch must not proceed."""
+    def _check_rank_faults(self, rank: int) -> None:
+        """Consult the fault injector at dispatch time.  Any rank it
+        kills (the dispatch target or another) lands in
+        ``state.lost_ranks``, which the dispatch loop re-checks before
+        every start."""
         if self.fault_injector is None:
-            return False
+            return
         dead = self.fault_injector.check_batch_faults(self.state.dispatches, rank)
         if dead is not None:
             self.inject_rank_loss(dead)
-            return dead == rank
-        return False
 
     def _shed_overload(self) -> None:
         """Degraded fleet => shrunken effective queue bound; shed the
@@ -657,8 +674,18 @@ class CampaignServer:
             rank = placements.get(job.job_id)
             if rank is None or rank in busy:
                 continue
-            if self._check_rank_faults(rank):
-                continue  # the rank died as we dispatched; replan next tick
+            # execution gate on the class breaker: an open class holds
+            # its queued jobs; past the cooldown this allow() is the
+            # half-open probe (success/failure below closes/re-opens)
+            if not self._breaker(job.spec.class_key()).allow(now):
+                continue
+            self._check_rank_faults(rank)
+            if rank in self.state.lost_ranks:
+                # the injector killed a rank mid-loop — possibly this
+                # one, possibly earlier in the tick; placements are
+                # stale, so never start on a dead rank.  Replan next
+                # tick.
+                continue
             self._start(job, rank)
             busy.add(rank)
             running_content.add(key)

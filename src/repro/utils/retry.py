@@ -203,7 +203,13 @@ class CircuitBreaker:
             raise ValueError("cooldown_s must be >= 0")
 
     def allow(self, now: float = 0.0) -> bool:
-        """May an operation in this domain start at time ``now``?"""
+        """May an operation in this domain start at time ``now``?
+
+        State-transitioning: an open breaker past its cooldown flips to
+        half-open and this call admits the probe.  Callers that are not
+        about to *execute* (e.g. admission checks) must use the
+        read-only :meth:`is_open` instead, or they consume the probe.
+        """
         if self.state == "open":
             if now - self.opened_at >= self.cooldown_s:
                 self.state = "half_open"
@@ -211,6 +217,15 @@ class CircuitBreaker:
             self.rejections += 1
             return False
         return True  # closed or half-open (one probe already admitted)
+
+    def is_open(self, now: float = 0.0) -> bool:
+        """Read-only: would the breaker reject at time ``now``?
+
+        Unlike :meth:`allow`, never transitions state or counts a
+        rejection — safe to call from paths (admission, health views)
+        that do not themselves execute an operation.
+        """
+        return self.state == "open" and now - self.opened_at < self.cooldown_s
 
     def record_success(self) -> None:
         self.consecutive_failures = 0

@@ -110,6 +110,55 @@ class TestJournal:
         records = Journal(path).replay()
         assert [r.type for r in records] == ["a", "b"]
 
+    def test_append_after_torn_tail_repairs_file(self, tmp_path):
+        """The next append truncates a torn tail instead of writing
+        directly after the partial bytes — which would merge them into
+        one unparseable line and make the *following* replay refuse the
+        whole journal as mid-file corruption."""
+        path = str(tmp_path / "j.jsonl")
+        j = Journal(path)
+        j.append("a", x=1)
+        j.append("b", x=2)
+        j.close()
+        with open(path, "a") as fh:
+            fh.write('{"seq": 3, "type": "c", "pa')  # crash mid-append
+        j2 = Journal(path)
+        j2.append("c", x=3)
+        j2.close()
+        records = Journal(path).replay()
+        assert [(r.seq, r.type) for r in records] == [(1, "a"), (2, "b"), (3, "c")]
+
+    def test_append_after_missing_final_newline(self, tmp_path):
+        """An intact final record that lost its newline (crash between
+        the line and the terminator) is completed, not merged with the
+        next append."""
+        path = str(tmp_path / "j.jsonl")
+        j = Journal(path)
+        j.append("a", x=1)
+        j.close()
+        with open(path, "rb+") as fh:
+            data = fh.read()
+            fh.seek(0)
+            fh.truncate()
+            fh.write(data.rstrip(b"\n"))
+        j2 = Journal(path)
+        assert [r.type for r in j2.replay()] == ["a"]
+        j2.append("b")
+        j2.close()
+        records = Journal(path).replay()
+        assert [(r.seq, r.type) for r in records] == [(1, "a"), (2, "b")]
+
+    def test_readonly_replay_never_mutates(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        j = Journal(path)
+        j.append("a", x=1)
+        j.close()
+        with open(path, "a") as fh:
+            fh.write('{"seq": 2, "type": "b", "pa')
+        size = os.path.getsize(path)
+        Journal(path).replay()  # status-view style read
+        assert os.path.getsize(path) == size
+
     def test_midfile_corruption_raises(self, tmp_path):
         path = str(tmp_path / "j.jsonl")
         j = Journal(path)
@@ -317,6 +366,19 @@ class TestServerAdmission:
         assert job.state == JobState.REJECTED
         assert "malformed" in job.detail
 
+    def test_job_counter_skips_malformed_rejections(self, tmp_path):
+        """The recovered jNNNNN counter counts only counter-allocated
+        ids, not synthetic 'bad-<id>' rejections."""
+        srv = _server(tmp_path)
+        srv.submit(JobSpec(tenant="t", molecule="h2"))
+        with open(os.path.join(srv.inbox_dir, "bad.json"), "w") as fh:
+            fh.write("{not json")
+        srv._poll_inbox()
+        srv.close()
+        srv2 = CampaignServer(srv.state_dir, srv.config)
+        job = srv2.submit(JobSpec(tenant="t", molecule="h4"))
+        assert job.job_id.startswith("j00002-")
+
 
 class TestServerDegradation:
     def test_rank_loss_requeues_and_sheds(self, tmp_path):
@@ -356,6 +418,62 @@ class TestServerDegradation:
         srv.close()
         srv2 = CampaignServer(srv.state_dir, srv.config)
         assert srv2.alive_ranks == [1]
+
+    def test_dispatch_never_starts_on_rank_killed_mid_loop(
+        self, tmp_path, monkeypatch
+    ):
+        """Placements are computed from the alive set at the top of the
+        tick; if the fault injector kills a rank while we dispatch to a
+        *different* one, jobs placed on the dead rank must be skipped,
+        not started on a lost rank."""
+        srv = _server(tmp_path, num_ranks=2)
+        import repro.serve.server as server_mod
+
+        class Idle:
+            def __init__(self, *a, **kw):
+                pass
+
+            def step(self):
+                return None
+
+        monkeypatch.setattr(server_mod, "_JobExecution", Idle)
+        monkeypatch.setattr(srv.problems, "get", lambda spec: {})
+        srv.submit(JobSpec(tenant="t", molecule="h2"))
+        srv.submit(JobSpec(tenant="t", molecule="h4"))
+        fired = {"done": False}
+
+        def kill_other(rank):
+            # batch fault kills the *other* rank during this dispatch
+            if not fired["done"]:
+                fired["done"] = True
+                srv.inject_rank_loss(1 - rank)
+
+        monkeypatch.setattr(srv, "_check_rank_faults", kill_other)
+        srv._dispatch()
+        running = [j for j in srv.jobs.values() if j.state == JobState.RUNNING]
+        assert len(running) == 1
+        assert all(j.rank in srv.alive_ranks for j in running)
+        assert (
+            len([j for j in srv.jobs.values() if j.state == JobState.QUEUED])
+            == 1
+        )
+
+    def test_restart_twice_after_torn_tail(self, tmp_path):
+        """One crash-with-torn-tail must not poison the journal: the
+        first restart appends recovery records (after truncating the
+        torn bytes), and the second restart replays cleanly instead of
+        raising JournalCorruptionError on a merged line."""
+        srv = _server(tmp_path)
+        a = srv.submit(JobSpec(tenant="t", molecule="h2"))
+        srv.close()
+        path = os.path.join(srv.state_dir, "journal.jsonl")
+        with open(path, "a") as fh:
+            fh.write('{"seq": 7, "type": "started", "pa')  # crash mid-append
+        srv2 = CampaignServer(srv.state_dir, srv.config)
+        assert srv2.jobs[a.job_id].state == JobState.QUEUED
+        srv2.close()
+        srv3 = CampaignServer(srv.state_dir, srv.config)
+        assert srv3.jobs[a.job_id].state == JobState.QUEUED
 
 
 class TestServerRetryAndBreaker:
@@ -424,6 +542,56 @@ class TestServerRetryAndBreaker:
         probe = srv.submit(JobSpec(tenant="t", molecule="h2"))
         assert probe.state == JobState.QUEUED
 
+    def test_is_open_is_read_only(self):
+        from repro.utils.retry import CircuitBreaker
+
+        br = CircuitBreaker(failure_threshold=1, cooldown_s=10.0)
+        br.record_failure(0.0)
+        assert br.state == "open"
+        assert br.is_open(5.0)
+        assert not br.is_open(15.0)  # cooldown elapsed: would admit
+        assert br.state == "open"  # but the read did not transition
+        assert br.rejections == 0
+
+    def test_submission_does_not_consume_half_open_probe(
+        self, tmp_path, monkeypatch
+    ):
+        """Admission is not an execution: post-cooldown submissions are
+        admitted without touching the breaker; only the dispatch-time
+        allow() consumes the half-open probe, and the probe's outcome
+        drives the state machine."""
+        clock = {"t": 0.0}
+        srv = _server(
+            tmp_path,
+            max_job_attempts=1,
+            breaker_failure_threshold=1,
+            breaker_cooldown_s=60.0,
+            clock=lambda: clock["t"],
+        )
+        import repro.serve.server as server_mod
+
+        class Boom:
+            def __init__(self, *a, **kw):
+                pass
+
+            def step(self):
+                raise RuntimeError("boom")
+
+        monkeypatch.setattr(server_mod, "_JobExecution", Boom)
+        monkeypatch.setattr(srv.problems, "get", lambda spec: {})
+        srv.submit(JobSpec(tenant="t", molecule="h2"))
+        srv.tick()
+        br = srv.breakers["vqe:h2:sto-3g"]
+        assert br.state == "open"
+        clock["t"] = 61.0
+        for _ in range(3):
+            sub = srv.submit(JobSpec(tenant="t", molecule="h2"))
+            assert sub.state == JobState.QUEUED
+        assert br.state == "open"  # submissions left the breaker alone
+        srv.tick()  # dispatch probes the class; the probe fails
+        assert br.state == "open"
+        assert br.trips == 2
+
     def test_retry_budget_denial_fails_fast(self, tmp_path, monkeypatch):
         clock = {"t": 0.0}
         srv = _server(
@@ -481,6 +649,36 @@ class TestServerDeadlines:
         srv.tick()  # budget check fires before the next step
         assert srv.jobs[job.job_id].state == JobState.TIMED_OUT
         assert "budget" in srv.jobs[job.job_id].detail
+
+    def test_restart_rebases_deadline_clock(self, tmp_path, monkeypatch):
+        """admitted_at is meaningless across processes (monotonic
+        clock, not journaled): recovery re-bases every non-terminal
+        job's deadline window to recovery time instead of spuriously
+        timing it out on the first tick."""
+        clock = {"t": 5.0}
+        srv = _server(tmp_path, clock=lambda: clock["t"])
+        job = srv.submit(JobSpec(tenant="t", molecule="h2", deadline_s=60.0))
+        srv.close()
+        clock["t"] = 10_000.0  # a new process's arbitrary clock epoch
+        srv2 = CampaignServer(srv.state_dir, srv.config)
+        import repro.serve.server as server_mod
+
+        class Instant:
+            def __init__(self, *a, **kw):
+                pass
+
+            def step(self):
+                return {"energy": -1.0, "kind": "vqe"}
+
+        monkeypatch.setattr(server_mod, "_JobExecution", Instant)
+        monkeypatch.setattr(srv2.problems, "get", lambda spec: {})
+        srv2.tick()
+        assert srv2.jobs[job.job_id].state == JobState.SUCCEEDED
+        # deadlines still fire, measured from recovery
+        late = srv2.submit(JobSpec(tenant="t", molecule="h4", deadline_s=5.0))
+        clock["t"] = 10_010.0
+        srv2.tick()
+        assert srv2.jobs[late.job_id].state == JobState.TIMED_OUT
 
 
 # -- server: real physics (small problems only) -------------------------------
