@@ -11,6 +11,10 @@ span) and `obs.enabled()` guards, so the bound is checked two ways:
   compare against the disabled iteration time;
 * a direct A/B — disabled vs fully-enabled iteration medians, reported
   for context (enabled mode is allowed to cost more; it records).
+
+The event bus (`repro.obs.events`) joins the same contract: with no
+bus installed, the module-level `emit()` is a constant-time guard, so
+even one emit per instrumentation event stays under the same 5% bound.
 """
 
 import statistics
@@ -20,6 +24,7 @@ import numpy as np
 
 from _util import write_table
 from repro import obs
+from repro.obs import events as obs_events
 from repro.chem.pools import qubit_pool
 from repro.chem.reference import hartree_fock_state
 from repro.core.vqe import VQE
@@ -81,15 +86,26 @@ def _noop_event_cost_s(calls=200_000):
     return max(span_cost, guard_cost)
 
 
+def _noop_emit_cost_s(calls=200_000):
+    """Per-call cost of `events.emit` with no bus installed."""
+    assert obs_events.get_bus() is None
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        obs_events.emit("bench.noop", value=1)
+    return (time.perf_counter() - t0) / calls
+
+
 def _measure():
     obs.disable()
     obs.reset()
+    obs_events.set_bus(None)
     vqe = _make_vqe()
     params = np.full(vqe.num_parameters, 0.05)
     vqe.energy(params)  # warm caches / JIT-free but fills lazy setup
 
     disabled_s = _median_iteration_s(vqe, params)
     per_event_s = _noop_event_cost_s()
+    per_emit_s = _noop_emit_cost_s()
 
     # One enabled iteration counts the instrumentation events the
     # disabled path still touches (spans entered + counter guards).
@@ -118,12 +134,16 @@ def _measure():
 
     events = spans + counter_events
     bound_fraction = (events * per_event_s) / disabled_s
+    # worst-case bus bound: one no-bus emit per instrumentation event
+    bus_bound_fraction = (events * per_emit_s) / disabled_s
     return {
         "disabled_s": disabled_s,
         "enabled_s": enabled_s,
         "per_event_s": per_event_s,
+        "per_emit_s": per_emit_s,
         "events": events,
         "bound_fraction": bound_fraction,
+        "bus_bound_fraction": bus_bound_fraction,
     }
 
 
@@ -138,7 +158,9 @@ def test_disabled_obs_overhead_under_budget(benchmark):
             ("iteration enabled (s)", f"{m['enabled_s']:.4f}"),
             ("instrumentation events/iter", m["events"]),
             ("no-op cost/event (s)", f"{m['per_event_s']:.2e}"),
+            ("no-bus cost/emit (s)", f"{m['per_emit_s']:.2e}"),
             ("disabled overhead bound", f"{m['bound_fraction']:.4%}"),
+            ("event-bus overhead bound", f"{m['bus_bound_fraction']:.4%}"),
             ("budget", f"{OVERHEAD_BUDGET:.0%}"),
         ],
         caption="Disabled-observability overhead on a 12-qubit VQE "
@@ -147,3 +169,4 @@ def test_disabled_obs_overhead_under_budget(benchmark):
     print("\n" + table)
     assert m["events"] > 0  # the hot path is actually instrumented
     assert m["bound_fraction"] < OVERHEAD_BUDGET
+    assert m["bus_bound_fraction"] < OVERHEAD_BUDGET

@@ -10,7 +10,12 @@ Drives the real CLI in subprocesses, exactly like an operator would:
 5. restart the server and let it drain the backlog,
 6. assert from ``repro status --json`` and the journal that every job
    reached a terminal state, the rank loss stuck, nothing was lost,
-   and no job completed twice (idempotent replay, no duplicated work).
+   and no job completed twice (idempotent replay, no duplicated work),
+7. assert the structured event log survived the kill consistently:
+   sequence numbers strictly increase across the restart, the stream
+   parses around any torn tail, completion events never contradict the
+   journal, and ``repro top --once --json`` renders the whole story
+   out-of-process.
 
 Run from the repository root:
 
@@ -33,6 +38,7 @@ import time
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
+from repro.obs.events import read_events  # noqa: E402
 from repro.serve.journal import Journal  # noqa: E402
 
 
@@ -179,6 +185,43 @@ def main() -> int:
     if not any(r.type == "recovered" for r in journal):
         failures.append("restart never journaled a recovery marker")
 
+    # 7. event-log replay consistency across the kill -9
+    events = read_events(os.path.join(state_dir, "events.jsonl"))
+    if not events:
+        failures.append("no structured events survived the soak")
+    seqs = [e.seq for e in events]
+    if sorted(seqs) != seqs or len(set(seqs)) != len(seqs):
+        failures.append(
+            "event seq not strictly increasing across the restart"
+        )
+    if not any(e.type == "server.recovered" for e in events):
+        failures.append("restart never emitted a server.recovered event")
+    event_completions: dict = {}
+    for e in events:
+        if e.type == "job.completed":
+            jid = e.attrs["job_id"]
+            event_completions[jid] = event_completions.get(jid, 0) + 1
+    dup_events = {j: n for j, n in event_completions.items() if n != 1}
+    if dup_events:
+        failures.append(f"duplicated completion events: {dup_events}")
+    # every completion event must correspond to a journaled completion
+    # (the journal is the source of truth; the event log may at worst
+    # lose the final pre-kill record, never invent one)
+    phantom = set(event_completions) - set(completions)
+    if phantom:
+        failures.append(f"completion events with no journal record: {phantom}")
+
+    top = _cli("top", "--state-dir", state_dir, "--once", "--json", check=False)
+    if top.returncode != 0:
+        failures.append(f"repro top --once --json exited {top.returncode}")
+    else:
+        try:
+            snap = json.loads(top.stdout)
+            if snap.get("events_total", 0) < len(events):
+                failures.append("repro top saw fewer events than the log holds")
+        except json.JSONDecodeError:
+            failures.append("repro top --json emitted unparseable output")
+
     if failures:
         for f in failures:
             print(f"FAIL: {f}")
@@ -187,7 +230,8 @@ def main() -> int:
     print(
         f"PASS: {len(succeeded)} jobs succeeded across the kill "
         f"({resumed} resumed from checkpoints, rank 1 lost and stayed lost, "
-        f"{len(journal)} journal records, no duplicated completions)"
+        f"{len(journal)} journal records, {len(events)} events replayed "
+        f"consistently, no duplicated completions)"
     )
     return 0
 

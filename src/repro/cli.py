@@ -651,6 +651,30 @@ def _cmd_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.dashboard import Dashboard
+    from repro.obs.slo import SLOConfig
+
+    if not os.path.isdir(args.state_dir):
+        print(f"no server state at {args.state_dir}", file=sys.stderr)
+        return 1
+    try:
+        slo_config = (
+            SLOConfig.load(args.slo_config) if args.slo_config else SLOConfig()
+        )
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"bad SLO config {args.slo_config!r}: {err}", file=sys.stderr)
+        return 1
+    dash = Dashboard(args.state_dir, slo_config=slo_config)
+    if args.json:
+        _emit_json({"command": "top", **dash.snapshot()})
+        return 0
+    if args.once:
+        print(dash.render())
+        return 0
+    return dash.run(interval_s=args.interval)
+
+
 # -- observability plumbing ---------------------------------------------------
 
 
@@ -964,6 +988,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_status.add_argument("--json", action="store_true", help="emit JSON on stdout")
     p_status.set_defaults(func=_cmd_status)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live operator dashboard over a server state dir "
+        "(reads status.json + events.jsonl + metrics.jsonl only)",
+    )
+    p_top.add_argument("--state-dir", default="serve-state")
+    p_top.add_argument(
+        "--once", action="store_true", help="render one frame and exit"
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="S",
+        help="redraw period for the live view (seconds)",
+    )
+    p_top.add_argument(
+        "--slo-config", default="",
+        help="JSON file of SLO objectives (see repro.obs.slo.SLOConfig)",
+    )
+    p_top.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON snapshot on stdout (implies --once)",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     return parser
 

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.obs.flight import FlightRecorder
 from repro.chem.pools import PoolOperator
 from repro.ir.compiled import compile_observable
 from repro.ir.pauli import PauliSum
@@ -154,6 +155,7 @@ class AdaptVQE:
         energy_tolerance: Optional[float] = None,
         reference_energy: Optional[float] = None,
         timer: Optional[Timer] = None,
+        flight_context: Optional[Dict[str, Any]] = None,
     ):
         if not pool:
             raise ValueError("pool is empty")
@@ -169,6 +171,11 @@ class AdaptVQE:
         self.energy_tolerance = energy_tolerance
         self.reference_energy = reference_energy
         self.timer = timer
+        # one growth iteration per sample is cheap enough to always
+        # record; verdict events still no-op without a bus installed
+        self.flight = FlightRecorder(
+            kind="adapt", context=dict(flight_context or {})
+        )
 
     def pool_gradients(self, state: np.ndarray) -> np.ndarray:
         """<[H, A_k]> for every candidate, on the given state."""
@@ -224,6 +231,7 @@ class AdaptVQE:
         if g_max < self.gradient_tolerance:
             st.converged = True
             return st
+        pool_mean_abs_grad = float(np.mean(np.abs(grads)))
 
         st.iteration += 1
         st.chosen_indices.append(k_best)
@@ -266,6 +274,14 @@ class AdaptVQE:
                 error_vs_reference=err,
                 num_parameters=len(st.parameters),
             )
+        )
+        self.flight.record(
+            st.energy,
+            params=st.parameters,
+            grad_norm=g_max,
+            pool_size=len(self.pool),
+            pool_mean_abs_grad=pool_mean_abs_grad,
+            index=st.iteration,
         )
         if obs.enabled():
             obs.inc(
@@ -326,6 +342,7 @@ class AdaptVQE:
                     "converged": result.converged,
                 },
                 convergence=convergence_traces(result.iterations),
+                flight=self.flight.to_dict(),
                 wall_time_s=time.perf_counter() - t_start,
             )
         return result

@@ -41,6 +41,7 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from repro import obs
+from repro.obs import events as obs_events
 from repro.core.adapt import (
     AdaptIteration,
     AdaptResult,
@@ -222,6 +223,12 @@ class CampaignRunner:
                         self._distributed_crosscheck(adapt, st)
             except RankFailure as err:
                 restarts += 1
+                obs_events.emit(
+                    "campaign.restart",
+                    kind="adapt",
+                    restart=restarts,
+                    reason=str(err),
+                )
                 if obs.enabled():
                     obs.inc(
                         "repro_campaign_restarts_total",
@@ -257,6 +264,7 @@ class CampaignRunner:
                 kind="adapt_campaign",
                 result=campaign_result,
                 convergence=convergence_traces(result.iterations),
+                flight=adapt.flight.to_dict(),
                 wall_time_s=time.perf_counter() - t_start,
             )
         return campaign_result
@@ -267,6 +275,7 @@ class CampaignRunner:
         result: "CampaignResult",
         convergence: Optional[dict],
         wall_time_s: float,
+        flight: Optional[dict] = None,
     ):
         """Aggregate campaign-level telemetry into one RunReport."""
         return obs.collect_report(
@@ -284,6 +293,7 @@ class CampaignRunner:
                 self.fault_injector.ledger if self.fault_injector else None
             ),
             convergence=convergence,
+            flight=flight,
             wall_time_s=wall_time_s,
         )
 
@@ -323,6 +333,9 @@ class CampaignRunner:
                 ).to_dict()
             _atomic_write_json(payload, self._adapt_state_path())
         self.checkpoints_written += 1
+        obs_events.emit(
+            "campaign.checkpoint", kind="adapt", iteration=st.iteration
+        )
         if obs.enabled():
             obs.inc(
                 "repro_campaign_checkpoints_total",
@@ -470,6 +483,12 @@ class CampaignRunner:
                     break
                 except RankFailure as err:
                     restarts += 1
+                    obs_events.emit(
+                        "campaign.restart",
+                        kind="vqe",
+                        restart=restarts,
+                        reason=str(err),
+                    )
                     if obs.enabled():
                         obs.inc(
                             "repro_campaign_restarts_total",
@@ -504,6 +523,9 @@ class CampaignRunner:
                 kind="vqe_campaign",
                 result=campaign_result,
                 convergence={"energy": list(result.history)},
+                flight=(
+                    vqe.flight.to_dict() if vqe.flight is not None else None
+                ),
                 wall_time_s=time.perf_counter() - t_start,
             )
         return campaign_result
@@ -525,6 +547,9 @@ class CampaignRunner:
                 self._vqe_state_path(),
             )
         self.checkpoints_written += 1
+        obs_events.emit(
+            "campaign.checkpoint", kind="vqe", eval=eval_index
+        )
         if obs.enabled():
             obs.inc(
                 "repro_campaign_checkpoints_total",

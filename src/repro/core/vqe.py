@@ -19,11 +19,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro import obs
+from repro.obs import events as obs_events
+from repro.obs.flight import FlightRecorder
 from repro.ir.circuit import Circuit
 from repro.ir.pauli import PauliSum
 from repro.core.estimator import DirectEstimator, Estimator
@@ -84,6 +86,7 @@ class VQE:
         optimizer: Optional[Optimizer] = None,
         evaluation_callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
         timer: Optional[Timer] = None,
+        flight_context: Optional[Dict[str, Any]] = None,
     ):
         if not hamiltonian.is_hermitian():
             raise ValueError("hamiltonian must be Hermitian")
@@ -95,6 +98,12 @@ class VQE:
         # parameter checkpoints and fault-injection hooks
         self.evaluation_callback = evaluation_callback
         self.num_evaluations = 0
+        # convergence flight recorder: created lazily in run() when
+        # observability or an event bus is active (self.flight stays
+        # None otherwise, keeping the per-evaluation cost one `is None`
+        # check — the disabled-overhead contract)
+        self.flight: Optional[FlightRecorder] = None
+        self.flight_context = dict(flight_context or {})
         self.mode: str
         if generators is not None:
             if reference_state is None:
@@ -133,6 +142,8 @@ class VQE:
                 help="VQE objective evaluations",
                 labels={"mode": self.mode},
             )
+        if self.flight is not None:
+            self.flight.record(e, params=params, index=self.num_evaluations)
         if self.evaluation_callback is not None:
             self.evaluation_callback(self.num_evaluations, params, e)
         return e
@@ -167,6 +178,10 @@ class VQE:
                 f"expected {self.num_parameters} initial parameters, got {x0.shape}"
             )
         t_start = time.perf_counter()
+        if obs.enabled() or obs_events.get_bus() is not None:
+            self.flight = FlightRecorder(
+                kind="vqe", context=self.flight_context
+            )
         with obs.span(
             "vqe.run", mode=self.mode, parameters=self.num_parameters
         ):
@@ -182,6 +197,9 @@ class VQE:
                     "converged": result.converged,
                 },
                 convergence={"energy": list(result.history)},
+                flight=(
+                    self.flight.to_dict() if self.flight is not None else None
+                ),
                 wall_time_s=time.perf_counter() - t_start,
             )
         return result

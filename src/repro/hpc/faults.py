@@ -30,6 +30,8 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.obs import events as obs_events
+
 __all__ = [
     "FaultError",
     "RankFailure",
@@ -224,6 +226,16 @@ class FaultInjector:
             kind=spec.kind, scope=spec.scope, step=step, rank=rank, detail=detail
         )
         self.ledger.record(event)
+        # every injected fault also lands on the structured event bus
+        # (constant-time no-op when none is installed)
+        obs_events.emit(
+            "fault.injected",
+            kind=spec.kind,
+            scope=spec.scope,
+            step=step,
+            rank=rank,
+            detail=detail,
+        )
         return event
 
     # -- comm-scope hooks (called by SimComm) -----------------------------------

@@ -11,7 +11,14 @@ Zero-dependency tracing + metrics + run reports for the whole stack:
 * :mod:`repro.obs.perf` — the performance observatory: per-rank
   attribution, communication matrix, load imbalance, critical path,
 * :mod:`repro.obs.bench` — schema-versioned benchmark reports and the
-  regression comparator behind ``repro bench-diff``.
+  regression comparator behind ``repro bench-diff``,
+* :mod:`repro.obs.events` — the durable structured event bus (append-
+  only, schema-versioned JSONL with rotation and subscribers),
+* :mod:`repro.obs.slo` — per-tenant SLIs / SLO objectives with
+  multi-window burn-rate alerting,
+* :mod:`repro.obs.flight` — the convergence flight recorder with
+  stall / divergence / barren-plateau detectors,
+* :mod:`repro.obs.dashboard` — the out-of-process ``repro top`` view.
 
 The module-level helpers below are the *instrumentation API* the hot
 paths use.  They route to one process-global tracer/registry behind a
@@ -36,6 +43,16 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.bench import BenchDiff, BenchEntry, BenchReport, compare
+from repro.obs.dashboard import Dashboard
+from repro.obs.events import (
+    Event,
+    EventBus,
+    get_bus as get_event_bus,
+    read_events,
+    set_bus as set_event_bus,
+)
+from repro.obs.events import emit as emit_event
+from repro.obs.flight import FlightConfig, FlightRecorder, FlightSample
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -52,6 +69,7 @@ from repro.obs.perf import (
     critical_path,
 )
 from repro.obs.report import RunReport, as_plain_dict
+from repro.obs.slo import FLEET, SLOAlert, SLOConfig, SLOEngine, SLOReport
 from repro.obs.trace import NULL_SPAN, SpanRecord, Tracer
 
 __all__ = [
@@ -74,6 +92,21 @@ __all__ = [
     "BenchEntry",
     "BenchDiff",
     "compare",
+    "Event",
+    "EventBus",
+    "read_events",
+    "emit_event",
+    "get_event_bus",
+    "set_event_bus",
+    "SLOConfig",
+    "SLOAlert",
+    "SLOReport",
+    "SLOEngine",
+    "FLEET",
+    "FlightConfig",
+    "FlightSample",
+    "FlightRecorder",
+    "Dashboard",
     "configure",
     "enable",
     "disable",

@@ -20,8 +20,16 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import re
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def _atomic_write(path: str, payload: str) -> None:
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        fh.write(payload)
+    os.replace(tmp, path)
 
 __all__ = [
     "Counter",
@@ -169,6 +177,14 @@ class Histogram(_Metric):
             out.append(running)
         return out
 
+    def quantiles(self) -> Dict[str, Optional[float]]:
+        """p50/p95/p99 summary (None where empty, for JSON safety)."""
+        out: Dict[str, Optional[float]] = {}
+        for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+            value = self.quantile(q)
+            out[label] = None if math.isnan(value) else value
+        return out
+
     def quantile(self, q: float) -> float:
         """Estimate the q-quantile by linear interpolation inside the
         target bucket (PromQL ``histogram_quantile`` math).  Returns
@@ -202,6 +218,7 @@ class Histogram(_Metric):
             "counts": list(self.counts),
             "sum": self.sum,
             "count": self.count,
+            "quantiles": self.quantiles(),
         }
 
     def expose(self) -> List[str]:
@@ -299,14 +316,15 @@ class MetricsRegistry:
         ]
 
     def write_jsonl(self, path: str) -> None:
-        """One JSON object per metric per line."""
-        with open(path, "w") as fh:
-            for snap in self.snapshot():
-                fh.write(json.dumps(snap) + "\n")
+        """One JSON object per metric per line.  Written atomically
+        (tmp + rename) so out-of-process pollers like ``repro top``
+        never read a torn snapshot."""
+        payload = "".join(json.dumps(snap) + "\n" for snap in self.snapshot())
+        _atomic_write(path, payload)
 
     def write_prometheus(self, path: str) -> None:
-        with open(path, "w") as fh:
-            fh.write(self.expose())
+        """Prometheus exposition file, written atomically."""
+        _atomic_write(path, self.expose())
 
     def reset(self) -> None:
         self._metrics.clear()

@@ -23,8 +23,10 @@ This module imports nothing from ``repro`` outside ``repro.obs`` —
 ledgers are converted by duck typing, so the observability layer stays
 a leaf dependency every other layer may import.
 
-Version history: v1 had no ``perf`` section; v2 added it.  Loading a
-v1 payload yields an empty ``perf``.
+Version history: v1 had no ``perf`` section; v2 added it; v3 added the
+``flight`` section (convergence flight-recorder verdicts and samples,
+:mod:`repro.obs.flight`).  Loading an older payload yields the newer
+sections empty.
 """
 
 from __future__ import annotations
@@ -38,8 +40,8 @@ from typing import Any, Dict, List, Optional
 
 __all__ = ["RunReport", "as_plain_dict"]
 
-REPORT_VERSION = 2
-_READABLE_VERSIONS = (1, 2)
+REPORT_VERSION = 3
+_READABLE_VERSIONS = (1, 2, 3)
 
 
 def as_plain_dict(obj: Any) -> Dict[str, Any]:
@@ -89,6 +91,7 @@ class RunReport:
     cache: Dict[str, Any] = field(default_factory=dict)
     faults: Dict[str, Any] = field(default_factory=dict)
     perf: Dict[str, Any] = field(default_factory=dict)
+    flight: Dict[str, Any] = field(default_factory=dict)
     convergence: Dict[str, List[float]] = field(default_factory=dict)
     wall_time_s: Optional[float] = None
     created_unix: float = 0.0
@@ -106,6 +109,7 @@ class RunReport:
         cache_stats: Optional[object] = None,
         fault_ledger: Optional[object] = None,
         convergence: Optional[Dict[str, List[float]]] = None,
+        flight: Optional[Dict[str, Any]] = None,
         wall_time_s: Optional[float] = None,
     ) -> "RunReport":
         """Build a report from live objects.  ``tracer``/``registry``
@@ -141,6 +145,7 @@ class RunReport:
             cache=as_plain_dict(cache_stats),
             faults=as_plain_dict(fault_ledger),
             perf={} if analysis.is_empty else analysis.to_dict(),
+            flight=dict(flight or {}),
             convergence={
                 k: [float(x) for x in v] for k, v in (convergence or {}).items()
             },
@@ -162,6 +167,7 @@ class RunReport:
             "cache": _jsonable(self.cache),
             "faults": _jsonable(self.faults),
             "perf": _jsonable(self.perf),
+            "flight": _jsonable(self.flight),
             "convergence": _jsonable(self.convergence),
         }
 
@@ -187,6 +193,7 @@ class RunReport:
             cache=dict(payload.get("cache", {})),
             faults=dict(payload.get("faults", {})),
             perf=dict(payload.get("perf", {})),
+            flight=dict(payload.get("flight", {})),
             convergence={
                 k: list(v) for k, v in payload.get("convergence", {}).items()
             },
@@ -218,6 +225,17 @@ class RunReport:
                 lines.append(
                     f"  {s['name']:30s} {s['total_s']:10.4f}s  x{s['count']}"
                 )
+        if self.flight:
+            lines.append("-- flight recorder --")
+            verdict = self.flight.get("verdict", "ok")
+            detail = self.flight.get("verdict_detail", "")
+            lines.append(
+                f"  {'verdict':22s} {verdict}"
+                + (f" ({detail})" if detail else "")
+            )
+            for key in ("num_samples", "best_energy", "verdict_at"):
+                if self.flight.get(key) is not None:
+                    lines.append(f"  {key:22s} {self.flight[key]}")
         if self.convergence:
             lines.append("-- convergence --")
             for name, values in sorted(self.convergence.items()):
@@ -254,4 +272,25 @@ class RunReport:
                     f"{{{a}={b}}}" for a, b in sorted(m.get("labels", {}).items())
                 )
                 lines.append(f"  {m['name'] + label:38s} {m['value']:g}")
+        histograms = [
+            m
+            for m in self.metrics
+            if m.get("type") == "histogram" and m.get("count")
+        ]
+        if histograms:
+            lines.append("-- histogram quantiles --")
+            for m in histograms:
+                label = "".join(
+                    f"{{{a}={b}}}" for a, b in sorted(m.get("labels", {}).items())
+                )
+                q = m.get("quantiles") or {}
+                cells = "  ".join(
+                    f"{name}={q[name]:.4g}"
+                    for name in ("p50", "p95", "p99")
+                    if q.get(name) is not None
+                )
+                lines.append(
+                    f"  {m['name'] + label:38s} n={m['count']}"
+                    + (f"  {cells}" if cells else "")
+                )
         return "\n".join(lines)

@@ -1,0 +1,451 @@
+"""Per-tenant SLO engine: fold events + metrics into SLIs and alerts.
+
+The campaign server's event stream (:mod:`repro.obs.events`) records
+every job transition; this module turns that stream into the
+service-level picture an operator actually acts on:
+
+* **SLIs** (service-level indicators), per tenant and fleet-wide:
+  queue latency (admission -> dispatch) p50/p95, server tick duration
+  p50/p95, deadline-hit ratio, shed rate, and energy-evaluation
+  throughput (from metric-counter deltas).
+* **SLOs** (objectives): configurable targets per SLI
+  (:class:`SLOConfig`), e.g. "95% of dispatches within 30 s",
+  "deadline-hit ratio >= 0.95".
+* **Multi-window burn-rate alerts**: for each objective the engine
+  computes how fast the error budget is burning over a short and a
+  long window; an alert fires only when *both* exceed the configured
+  factor — the standard SRE construction that is simultaneously fast
+  on real outages and quiet on blips.
+
+The engine is clock-agnostic: every event carries a wall stamp and
+(optionally) a simulated stamp, and ``time_source`` selects which one
+windows are measured on — ``"sim"`` makes SLO math fully deterministic
+under :class:`repro.hpc.perfmodel.SimulatedClock`, which is how the
+tests drive injected deadline-miss bursts without sleeping.
+
+Folding is pure: the same event sequence always produces the same
+report, whether ingested live (bus subscription) or replayed from the
+on-disk log (``repro top``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.events import Event
+
+__all__ = [
+    "SLOConfig",
+    "SLOAlert",
+    "SLOReport",
+    "SLOEngine",
+    "FLEET",
+]
+
+# pseudo-tenant for fleet-wide SLIs (tick duration, eval throughput)
+FLEET = "_fleet"
+
+
+@dataclass
+class SLOConfig:
+    """Objectives and alerting windows.
+
+    Latency objectives are quantile-style: "``quantile`` of samples
+    must be <= ``target``" (the error budget is ``1 - quantile``).
+    Ratio objectives bound the fraction of bad outcomes.
+    """
+
+    queue_latency_target_s: float = 30.0
+    queue_latency_quantile: float = 0.95
+    tick_duration_target_s: float = 2.0
+    tick_duration_quantile: float = 0.95
+    deadline_hit_target: float = 0.95
+    shed_rate_max: float = 0.05
+    min_evals_per_s: float = 0.0  # 0 disables the throughput objective
+    short_window_s: float = 300.0
+    long_window_s: float = 3600.0
+    burn_alert_factor: float = 2.0
+    min_events: int = 3  # don't alert on fewer bad-capable samples
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.queue_latency_quantile < 1.0:
+            raise ValueError("queue_latency_quantile must be in (0, 1)")
+        if not 0.0 < self.tick_duration_quantile < 1.0:
+            raise ValueError("tick_duration_quantile must be in (0, 1)")
+        if not 0.0 < self.deadline_hit_target <= 1.0:
+            raise ValueError("deadline_hit_target must be in (0, 1]")
+        if not 0.0 < self.shed_rate_max < 1.0:
+            raise ValueError("shed_rate_max must be in (0, 1)")
+        if self.short_window_s <= 0 or self.long_window_s < self.short_window_s:
+            raise ValueError("need 0 < short_window_s <= long_window_s")
+        if self.burn_alert_factor <= 0:
+            raise ValueError("burn_alert_factor must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "queue_latency_target_s": self.queue_latency_target_s,
+            "queue_latency_quantile": self.queue_latency_quantile,
+            "tick_duration_target_s": self.tick_duration_target_s,
+            "tick_duration_quantile": self.tick_duration_quantile,
+            "deadline_hit_target": self.deadline_hit_target,
+            "shed_rate_max": self.shed_rate_max,
+            "min_evals_per_s": self.min_evals_per_s,
+            "short_window_s": self.short_window_s,
+            "long_window_s": self.long_window_s,
+            "burn_alert_factor": self.burn_alert_factor,
+            "min_events": self.min_events,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SLOConfig":
+        known = set(cls.__dataclass_fields__)  # type: ignore[attr-defined]
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown SLO config field(s): {sorted(unknown)}")
+        return cls(**payload)
+
+    @classmethod
+    def load(cls, path: str) -> "SLOConfig":
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+@dataclass
+class SLOAlert:
+    """One firing multi-window burn alert."""
+
+    tenant: str
+    sli: str
+    burn_short: float
+    burn_long: float
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tenant": self.tenant,
+            "sli": self.sli,
+            "burn_short": self.burn_short,
+            "burn_long": self.burn_long,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class SLOReport:
+    """Point-in-time SLO evaluation: per-tenant SLIs plus alerts."""
+
+    at: float
+    time_source: str
+    tenants: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    alerts: List[SLOAlert] = field(default_factory=list)
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "at": self.at,
+            "time_source": self.time_source,
+            "tenants": self.tenants,
+            "alerts": [a.to_dict() for a in self.alerts],
+            "config": self.config,
+        }
+
+    def alerting(self, tenant: Optional[str] = None) -> List[SLOAlert]:
+        if tenant is None:
+            return list(self.alerts)
+        return [a for a in self.alerts if a.tenant == tenant]
+
+
+def _quantile(samples: List[float], q: float) -> Optional[float]:
+    """Exact sample quantile (nearest-rank with interpolation)."""
+    if not samples:
+        return None
+    xs = sorted(samples)
+    if len(xs) == 1:
+        return xs[0]
+    pos = q * (len(xs) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(xs) - 1)
+    return xs[lo] + (xs[hi] - xs[lo]) * (pos - lo)
+
+
+class _Series:
+    """Timestamped (t, value, bad) samples, pruned to the long window."""
+
+    def __init__(self) -> None:
+        self.samples: List[Tuple[float, float, bool]] = []
+
+    def add(self, t: float, value: float, bad: bool) -> None:
+        self.samples.append((t, value, bad))
+
+    def prune(self, cutoff: float) -> None:
+        if self.samples and self.samples[0][0] < cutoff:
+            self.samples = [s for s in self.samples if s[0] >= cutoff]
+
+    def window(self, now: float, width: float) -> List[Tuple[float, float, bool]]:
+        lo = now - width
+        return [s for s in self.samples if lo <= s[0] <= now]
+
+
+class SLOEngine:
+    """Folds events (and metric snapshots) into SLIs and burn alerts.
+
+    Use it live (``bus.subscribe(engine.ingest)``) or offline
+    (``for ev in read_events(path): engine.ingest(ev)``); both paths
+    produce identical reports for identical streams.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SLOConfig] = None,
+        time_source: str = "wall",
+    ):
+        if time_source not in ("wall", "sim"):
+            raise ValueError("time_source must be 'wall' or 'sim'")
+        self.config = config or SLOConfig()
+        self.time_source = time_source
+        # per tenant: sli name -> series
+        self._series: Dict[str, Dict[str, _Series]] = {}
+        self._last_t = 0.0
+        # (t, cumulative evals) pairs from successive metric snapshots
+        self._eval_counter: List[Tuple[float, float]] = []
+        self.events_ingested = 0
+
+    # -- ingestion ------------------------------------------------------------
+
+    def _get(self, tenant: str, sli: str) -> _Series:
+        return self._series.setdefault(tenant, {}).setdefault(sli, _Series())
+
+    def _add(self, tenant: str, sli: str, t: float, value: float, bad: bool) -> None:
+        self._get(tenant, sli).add(t, value, bad)
+        if tenant != FLEET:
+            self._get(FLEET, sli).add(t, value, bad)
+
+    def ingest(self, event: Event) -> None:
+        """Fold one event into the SLI state."""
+        t = event.time(self.time_source)
+        self._last_t = max(self._last_t, t)
+        self.events_ingested += 1
+        cfg = self.config
+        a = event.attrs
+        tenant = str(a.get("tenant", FLEET))
+        if event.type == "job.dispatched" and "queue_latency_s" in a:
+            v = float(a["queue_latency_s"])
+            self._add(tenant, "queue_latency_s", t, v, v > cfg.queue_latency_target_s)
+        elif event.type == "server.tick" and "duration_s" in a:
+            v = float(a["duration_s"])
+            self._get(FLEET, "tick_duration_s").add(
+                t, v, v > cfg.tick_duration_target_s
+            )
+        elif event.type == "job.completed":
+            self._add(tenant, "deadline_hit", t, 1.0, False)
+        elif event.type == "job.timed_out":
+            self._add(tenant, "deadline_hit", t, 0.0, True)
+        elif event.type == "job.admitted":
+            self._add(tenant, "shed_rate", t, 0.0, False)
+        elif event.type == "job.shed":
+            self._add(tenant, "shed_rate", t, 1.0, True)
+        # prune everything older than the long window
+        cutoff = self._last_t - self.config.long_window_s
+        for per_tenant in self._series.values():
+            for series in per_tenant.values():
+                series.prune(cutoff)
+
+    def observe_metrics(
+        self, snapshot: List[Dict[str, Any]], now: Optional[float] = None
+    ) -> None:
+        """Fold one metrics-registry snapshot (JSONL rows); successive
+        calls turn cumulative counters into rates."""
+        t = self._now(now)
+        total = 0.0
+        for row in snapshot:
+            if row.get("name") == "repro_vqe_energy_evaluations_total":
+                total += float(row.get("value", 0.0))
+        if total:
+            self._eval_counter.append((t, total))
+            cutoff = t - self.config.long_window_s
+            self._eval_counter = [
+                (tt, v) for tt, v in self._eval_counter if tt >= cutoff
+            ]
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _now(self, now: Optional[float]) -> float:
+        if now is not None:
+            return now
+        if self.time_source == "sim":
+            return self._last_t  # deterministic: anchor at the last event
+        return time.time()
+
+    def _burn(
+        self, series: _Series, now: float, width: float, budget: float
+    ) -> Tuple[float, int, int]:
+        """(burn rate, bad, total) over one window.  Burn = observed
+        error fraction / budget fraction; 1.0 = burning exactly the
+        budget, >1 = on course to exhaust it early."""
+        window = series.window(now, width)
+        total = len(window)
+        bad = sum(1 for _, _, b in window if b)
+        if total == 0:
+            return 0.0, 0, 0
+        error_rate = bad / total
+        return (error_rate / budget if budget > 0 else 0.0), bad, total
+
+    def _check_alert(
+        self,
+        tenant: str,
+        sli: str,
+        series: _Series,
+        now: float,
+        budget: float,
+        detail: str,
+    ) -> Optional[SLOAlert]:
+        cfg = self.config
+        burn_s, bad_s, n_s = self._burn(series, now, cfg.short_window_s, budget)
+        burn_l, bad_l, n_l = self._burn(series, now, cfg.long_window_s, budget)
+        if (
+            n_l >= cfg.min_events
+            and bad_s > 0
+            and burn_s >= cfg.burn_alert_factor
+            and burn_l >= cfg.burn_alert_factor
+        ):
+            return SLOAlert(
+                tenant=tenant,
+                sli=sli,
+                burn_short=round(burn_s, 3),
+                burn_long=round(burn_l, 3),
+                detail=detail.format(bad=bad_l, total=n_l),
+            )
+        return None
+
+    def report(self, now: Optional[float] = None) -> SLOReport:
+        """Evaluate every tenant's SLIs and burn alerts."""
+        cfg = self.config
+        now_t = self._now(now)
+        tenants: Dict[str, Dict[str, Any]] = {}
+        alerts: List[SLOAlert] = []
+        for tenant, per_sli in sorted(self._series.items()):
+            slis: Dict[str, Any] = {}
+            # queue latency: quantiles + burn on the over-target fraction
+            ql = per_sli.get("queue_latency_s")
+            if ql is not None:
+                window = ql.window(now_t, cfg.long_window_s)
+                values = [v for _, v, _ in window]
+                slis["queue_latency_s"] = {
+                    "n": len(values),
+                    "p50": _quantile(values, 0.5),
+                    "p95": _quantile(values, 0.95),
+                    "target_s": cfg.queue_latency_target_s,
+                }
+                alert = self._check_alert(
+                    tenant,
+                    "queue_latency_s",
+                    ql,
+                    now_t,
+                    1.0 - cfg.queue_latency_quantile,
+                    "{bad}/{total} dispatches over "
+                    f"{cfg.queue_latency_target_s:g}s",
+                )
+                if alert:
+                    alerts.append(alert)
+            # tick duration (fleet only by construction)
+            td = per_sli.get("tick_duration_s")
+            if td is not None:
+                window = td.window(now_t, cfg.long_window_s)
+                values = [v for _, v, _ in window]
+                slis["tick_duration_s"] = {
+                    "n": len(values),
+                    "p50": _quantile(values, 0.5),
+                    "p95": _quantile(values, 0.95),
+                    "target_s": cfg.tick_duration_target_s,
+                }
+                alert = self._check_alert(
+                    tenant,
+                    "tick_duration_s",
+                    td,
+                    now_t,
+                    1.0 - cfg.tick_duration_quantile,
+                    "{bad}/{total} ticks over "
+                    f"{cfg.tick_duration_target_s:g}s",
+                )
+                if alert:
+                    alerts.append(alert)
+            # deadline-hit ratio
+            dh = per_sli.get("deadline_hit")
+            if dh is not None:
+                window = dh.window(now_t, cfg.long_window_s)
+                total = len(window)
+                hits = sum(1 for _, v, _ in window if v > 0)
+                slis["deadline_hit_ratio"] = {
+                    "n": total,
+                    "ratio": (hits / total) if total else None,
+                    "target": cfg.deadline_hit_target,
+                }
+                alert = self._check_alert(
+                    tenant,
+                    "deadline_hit_ratio",
+                    dh,
+                    now_t,
+                    1.0 - cfg.deadline_hit_target,
+                    "{bad}/{total} jobs missed their deadline",
+                )
+                if alert:
+                    alerts.append(alert)
+            # shed rate
+            sr = per_sli.get("shed_rate")
+            if sr is not None:
+                window = sr.window(now_t, cfg.long_window_s)
+                total = len(window)
+                shed = sum(1 for _, v, _ in window if v > 0)
+                slis["shed_rate"] = {
+                    "n": total,
+                    "rate": (shed / total) if total else None,
+                    "max": cfg.shed_rate_max,
+                }
+                alert = self._check_alert(
+                    tenant,
+                    "shed_rate",
+                    sr,
+                    now_t,
+                    cfg.shed_rate_max,
+                    "{bad}/{total} submissions shed",
+                )
+                if alert:
+                    alerts.append(alert)
+            if slis:
+                tenants[tenant] = slis
+        # energy-evaluation throughput from counter deltas (fleet)
+        if len(self._eval_counter) >= 2:
+            (t0, v0), (t1, v1) = self._eval_counter[0], self._eval_counter[-1]
+            rate = (v1 - v0) / (t1 - t0) if t1 > t0 else None
+            tenants.setdefault(FLEET, {})["evals_per_s"] = {
+                "rate": rate,
+                "total": v1,
+                "min": cfg.min_evals_per_s,
+            }
+            if (
+                cfg.min_evals_per_s > 0
+                and rate is not None
+                and rate < cfg.min_evals_per_s
+            ):
+                alerts.append(
+                    SLOAlert(
+                        tenant=FLEET,
+                        sli="evals_per_s",
+                        burn_short=0.0,
+                        burn_long=0.0,
+                        detail=(
+                            f"throughput {rate:.3g}/s below floor "
+                            f"{cfg.min_evals_per_s:g}/s"
+                        ),
+                    )
+                )
+        return SLOReport(
+            at=now_t,
+            time_source=self.time_source,
+            tenants=tenants,
+            alerts=alerts,
+            config=cfg.to_dict(),
+        )

@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs import events as obs_events
+
 __all__ = ["TenantPolicy", "AdmissionDecision", "AdmissionController"]
 
 
@@ -74,6 +76,29 @@ class AdmissionController:
         breaker_open: bool = False,
     ) -> AdmissionDecision:
         """Admit or reject one submission given current queue depths."""
+        decision = self._decide(
+            tenant, tenant_queued, total_queued, draining, breaker_open
+        )
+        if not decision.admitted:
+            # rejections are the interesting half of the decision
+            # stream; admissions are journaled as job.admitted anyway
+            obs_events.emit(
+                "admission.rejected",
+                tenant=tenant,
+                tenant_queued=tenant_queued,
+                total_queued=total_queued,
+                reason=decision.reason,
+            )
+        return decision
+
+    def _decide(
+        self,
+        tenant: str,
+        tenant_queued: int,
+        total_queued: int,
+        draining: bool,
+        breaker_open: bool,
+    ) -> AdmissionDecision:
         if draining:
             return AdmissionDecision(False, "server is draining; not accepting work")
         if breaker_open:

@@ -31,7 +31,12 @@
   in-flight work while rejecting new submissions.
 * **Observability**: health/readiness and per-tenant counters are
   published through ``repro.obs`` and mirrored to an atomically
-  written ``status.json`` for out-of-process ``repro status``.
+  written ``status.json`` for out-of-process ``repro status``; every
+  state transition additionally lands on the durable structured event
+  bus (``<state_dir>/events.jsonl``, :mod:`repro.obs.events`), which
+  feeds the SLO engine and the ``repro top`` dashboard, and periodic
+  metrics snapshots (``metrics.jsonl``) give out-of-process pollers
+  counter/histogram state without scraping the process.
 """
 
 from __future__ import annotations
@@ -45,6 +50,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from repro import obs
+from repro.obs import events as obs_events
 from repro.core.campaign import CampaignRunner
 from repro.hpc.faults import FaultInjector, FaultSpec
 from repro.hpc.scheduler import BatchScheduler, Job
@@ -81,10 +87,13 @@ class ServerConfig:
     default_timeout_s: Optional[float] = None
     warm_start: bool = True
     adapt_energy_tolerance: float = 1e-6
+    adapt_gradient_tolerance: float = 1e-4
     fault_specs: List[FaultSpec] = field(default_factory=list)
     fault_seed: int = 0
     fsync: bool = False
     clock: Any = None  # Callable[[], float]; default time.monotonic
+    event_log_max_bytes: int = 4_000_000
+    metrics_snapshot_period: int = 5  # ticks between metrics.jsonl writes
 
 
 @dataclass
@@ -106,6 +115,7 @@ class JobRecord:
     admitted_at: float = 0.0
     exec_s: float = 0.0
     next_eligible: float = 0.0
+    flight_verdict: Optional[str] = None
 
     @property
     def terminal(self) -> bool:
@@ -127,6 +137,7 @@ class JobRecord:
             "dedup_hit": self.dedup_hit,
             "warm_started": self.warm_started,
             "resumed": self.resumed,
+            "flight_verdict": self.flight_verdict,
         }
 
 
@@ -241,7 +252,12 @@ class _JobExecution:
                 problem["pool"],
                 problem["reference"],
                 max_iterations=job.spec.max_iterations,
+                gradient_tolerance=config.adapt_gradient_tolerance,
                 energy_tolerance=config.adapt_energy_tolerance,
+                flight_context={
+                    "job_id": job.job_id,
+                    "tenant": job.spec.tenant,
+                },
             )
             loaded = self.runner.load_adapt_state(self._adapt)
             self.job.resumed = loaded is not None
@@ -270,6 +286,7 @@ class _JobExecution:
                 "parameters": [float(x) for x in st.parameters],
                 "iterations": int(st.iteration),
                 "kind": "adapt",
+                "flight_verdict": self._adapt.flight.verdict,
             }
         return None
 
@@ -280,6 +297,10 @@ class _JobExecution:
             self.problem["hamiltonian"],
             generators=self.problem["generators"],
             reference_state=self.problem["reference"],
+            flight_context={
+                "job_id": self.job.job_id,
+                "tenant": self.job.spec.tenant,
+            },
         )
         x0 = self.warm_x0
         if x0 is not None:
@@ -294,6 +315,9 @@ class _JobExecution:
             ],
             "evaluations": int(campaign.result.num_function_evaluations),
             "kind": "vqe",
+            "flight_verdict": (
+                vqe.flight.verdict if vqe.flight is not None else None
+            ),
         }
 
 
@@ -307,6 +331,15 @@ class CampaignServer:
         self.inbox_dir = os.path.join(state_dir, "inbox")
         os.makedirs(self.inbox_dir, exist_ok=True)
         self._now = self.config.clock or time.monotonic
+        # the durable event bus comes up first so every transition —
+        # including recovery itself — lands in the log; installing it
+        # as the process-global bus routes library-level emissions
+        # (flight recorder, fault injector, campaign runner) here too
+        self.events = obs_events.EventBus(
+            path=os.path.join(state_dir, "events.jsonl"),
+            max_bytes=self.config.event_log_max_bytes,
+        )
+        obs_events.set_bus(self.events)
         self.journal = Journal(
             os.path.join(state_dir, "journal.jsonl"), fsync=self.config.fsync
         )
@@ -332,6 +365,10 @@ class CampaignServer:
             else None
         )
         self.executions: Dict[str, _JobExecution] = {}
+        # (tenant, state) gauge label pairs published last round, so
+        # pairs that disappear (drained/idle tenants) are zeroed rather
+        # than frozen at their last value
+        self._published_tenant_states: set = set()
         self.ticks = 0
         self.shed_count = 0
         self.dedup_hits = 0
@@ -382,6 +419,12 @@ class CampaignServer:
                 lost_ranks=sorted(self.state.lost_ranks),
             )
             self.state.apply(rec)
+            self.events.emit(
+                "server.recovered",
+                jobs=len(self.state.jobs),
+                requeued=len(in_flight),
+                lost_ranks=sorted(self.state.lost_ranks) or None,
+            )
         if obs.enabled() and in_flight:
             obs.inc(
                 "repro_serve_jobs_resumed_total",
@@ -490,6 +533,15 @@ class CampaignServer:
         self.state.apply(rec)
         job = self.state.jobs[job_id]
         job.admitted_at = now
+        self.events.emit(
+            "job.admitted" if decision.admitted else "job.rejected",
+            job_id=job_id,
+            tenant=spec.tenant,
+            kind=spec.kind,
+            molecule=spec.molecule,
+            priority=spec.priority,
+            reason=decision.reason or None,
+        )
         if obs.enabled():
             obs.inc(
                 "repro_serve_submissions_total",
@@ -548,6 +600,7 @@ class CampaignServer:
             return
         rec = self.journal.append("rank_lost", rank=rank)
         self.state.apply(rec)
+        requeued = 0
         # jobs running on the dead rank: requeue (their checkpoints
         # survive, so only the since-last-checkpoint slice is redone)
         for job in self._jobs_in(JobState.RUNNING):
@@ -560,6 +613,13 @@ class CampaignServer:
                     reason=f"rank {rank} lost",
                 )
                 self.state.apply(r)
+                requeued += 1
+        self.events.emit(
+            "rank.lost",
+            rank=rank,
+            alive=len(self.alive_ranks),
+            requeued=requeued or None,
+        )
         if obs.enabled():
             obs.inc(
                 "repro_serve_ranks_lost_total", help="Simulated worker ranks lost"
@@ -604,6 +664,13 @@ class CampaignServer:
             )
             self.state.apply(rec)
             self.shed_count += 1
+            self.events.emit(
+                "job.shed",
+                job_id=job.job_id,
+                tenant=job.spec.tenant,
+                priority=job.spec.priority,
+                reason=f"overload with {alive}/{self.config.num_ranks} ranks",
+            )
             self._job_terminal_metrics(job)
 
     # -- scheduling + dispatch ------------------------------------------------
@@ -695,6 +762,14 @@ class CampaignServer:
             "started", job_id=job.job_id, rank=rank, attempt=job.attempts + 1
         )
         self.state.apply(rec)
+        self.events.emit(
+            "job.dispatched",
+            job_id=job.job_id,
+            tenant=job.spec.tenant,
+            rank=rank,
+            attempt=job.attempts,
+            queue_latency_s=max(0.0, self._now() - job.admitted_at),
+        )
         problem = self.problems.get(job.spec)
         warm_x0 = None
         if (
@@ -729,6 +804,12 @@ class CampaignServer:
                     "timed_out", job_id=job.job_id, reason=reason
                 )
                 self.state.apply(rec)
+                self.events.emit(
+                    "job.timed_out",
+                    job_id=job.job_id,
+                    tenant=job.spec.tenant,
+                    reason=reason,
+                )
                 self._job_terminal_metrics(job)
                 continue
             execution = self.executions.get(job.job_id)
@@ -785,7 +866,10 @@ class CampaignServer:
             )
         self.executions.pop(job.job_id, None)
         self._complete(job, result, dedup=False)
-        self._breaker(job.spec.class_key()).record_success()
+        breaker = self._breaker(job.spec.class_key())
+        before = breaker.state
+        breaker.record_success()
+        self._emit_breaker_transition(job.spec.class_key(), before, breaker.state)
 
     def _complete(
         self, job: JobRecord, result: Dict[str, Any], dedup: bool
@@ -800,6 +884,15 @@ class CampaignServer:
             resumed=job.resumed,
         )
         self.state.apply(rec)
+        job.flight_verdict = result.get("flight_verdict")
+        self.events.emit(
+            "job.completed",
+            job_id=job.job_id,
+            tenant=job.spec.tenant,
+            energy=result.get("energy"),
+            dedup=dedup or None,
+            flight_verdict=job.flight_verdict,
+        )
         if dedup:
             self.dedup_hits += 1
             if obs.enabled():
@@ -815,7 +908,11 @@ class CampaignServer:
         now = self._now()
         self.executions.pop(job.job_id, None)
         breaker = self._breaker(job.spec.class_key())
+        breaker_before = breaker.state
         breaker.record_failure(now)
+        self._emit_breaker_transition(
+            job.spec.class_key(), breaker_before, breaker.state
+        )
         retryable = (
             job.attempts < self.config.max_job_attempts
             and breaker.state != "open"
@@ -832,6 +929,14 @@ class CampaignServer:
                 reason=f"{type(err).__name__}: {err}",
             )
             self.state.apply(rec)
+            self.events.emit(
+                "job.retry",
+                job_id=job.job_id,
+                tenant=job.spec.tenant,
+                attempt=job.attempts,
+                delay_s=delay,
+                reason=f"{type(err).__name__}: {err}",
+            )
             if obs.enabled():
                 obs.inc(
                     "repro_serve_job_retries_total",
@@ -845,7 +950,24 @@ class CampaignServer:
                 reason=f"{type(err).__name__}: {err} (attempt {job.attempts})",
             )
             self.state.apply(rec)
+            self.events.emit(
+                "job.failed",
+                job_id=job.job_id,
+                tenant=job.spec.tenant,
+                attempt=job.attempts,
+                reason=f"{type(err).__name__}: {err}",
+            )
             self._job_terminal_metrics(job)
+
+    def _emit_breaker_transition(
+        self, class_key: str, before: str, after: str
+    ) -> None:
+        if after != before:
+            self.events.emit(
+                "breaker.transition",
+                class_key=class_key,
+                **{"from": before, "to": after},
+            )
 
     def _job_terminal_metrics(self, job: JobRecord) -> None:
         if obs.enabled():
@@ -862,9 +984,15 @@ class CampaignServer:
         if not self.draining:
             rec = self.journal.append("drain")
             self.state.apply(rec)
+            self.events.emit(
+                "server.drain",
+                queued=len(self._jobs_in(JobState.QUEUED)),
+                running=len(self._jobs_in(JobState.RUNNING)),
+            )
 
     def tick(self) -> None:
         """One scheduling round: ingest, shed, dispatch, advance."""
+        t0 = time.perf_counter()
         if os.path.isfile(os.path.join(self.state_dir, "DRAIN")):
             self.drain()
         self._poll_inbox()
@@ -872,7 +1000,20 @@ class CampaignServer:
         self._dispatch()
         self._step_running()
         self.ticks += 1
+        self.events.emit(
+            "server.tick",
+            tick=self.ticks,
+            duration_s=time.perf_counter() - t0,
+        )
         self._publish_health()
+        if (
+            obs.enabled()
+            and self.config.metrics_snapshot_period > 0
+            and self.ticks % self.config.metrics_snapshot_period == 0
+        ):
+            obs.get_registry().write_jsonl(
+                os.path.join(self.state_dir, "metrics.jsonl")
+            )
 
     def run(
         self,
@@ -895,6 +1036,7 @@ class CampaignServer:
 
     def close(self) -> None:
         self.journal.close()
+        self.events.close()  # also un-installs the global bus
 
     # -- health / status ------------------------------------------------------
 
@@ -960,6 +1102,29 @@ class CampaignServer:
                 float(len(health["alive_ranks"])),
                 help="Surviving worker ranks",
             )
+            # per-tenant live-state gauges; only non-terminal states are
+            # interesting live, and pairs that vanished since the last
+            # publish are explicitly zeroed (a drained tenant's queue
+            # gauge must read 0, not its last value forever)
+            current: set = set()
+            for tenant, states in health["tenants"].items():
+                for state in (JobState.QUEUED, JobState.RUNNING):
+                    count = states.get(state, 0)
+                    if count:
+                        current.add((tenant, state))
+                        obs.gauge_set(
+                            "repro_serve_tenant_jobs",
+                            float(count),
+                            help="Live (non-terminal) jobs by tenant and state",
+                            labels={"tenant": tenant, "state": state},
+                        )
+            for tenant, state in self._published_tenant_states - current:
+                obs.gauge_set(
+                    "repro_serve_tenant_jobs",
+                    0.0,
+                    labels={"tenant": tenant, "state": state},
+                )
+            self._published_tenant_states = current
             obs.inc("repro_serve_ticks_total", help="Server scheduling rounds")
 
 
