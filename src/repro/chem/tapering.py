@@ -1,0 +1,283 @@
+"""Z2 symmetry finding and qubit tapering (Bravyi et al. style).
+
+A Pauli-Z string ``tau = Z^s`` is a Z2 symmetry of a Hamiltonian ``H``
+when it commutes with every term, i.e. ``|x_t & s|`` is even for every
+term x-mask — so the independent Z-type symmetries are exactly the
+GF(2) kernel of H's stacked X-block (one vectorized
+:func:`repro.ir.symplectic.gf2_kernel` call).  Molecular Hamiltonians
+under Jordan–Wigner always carry the two spin-sector particle parities,
+and point-group symmetry of the integrals contributes more: the repo's
+full-space LiH (12q) and H2O (14q) Hamiltonians each have four.
+
+Tapering removes one qubit per symmetry.  Reducing the symmetry set to
+GF(2) RREF gives each generator ``tau_i = Z^{s_i}`` an exclusive pivot
+qubit ``q_i`` (set in ``s_i`` only); the Hermitian Clifford
+
+    U_i = (X_{q_i} + Z^{s_i}) / sqrt(2)
+
+maps ``tau_i -> X_{q_i}`` while fixing every other generator.  After
+conjugating by all ``U_i``, every Hamiltonian term acts on each pivot
+qubit with I or X only, so ``X_{q_i}`` can be replaced by its
+eigenvalue ``sigma_i = +/-1`` (the symmetry sector) and the qubit
+deleted.  The sector of the physical ground state is read off the
+Hartree–Fock occupation: ``sigma_i = (-1)^{|s_i & hf_index|}``, and the
+tapered reference state is the HF bitstring with the pivot bits
+removed.
+
+Conjugation of a Pauli term ``P`` by ``U = (A + B)/sqrt(2)`` with
+``A = X_{q_i}``, ``B = Z^{s_i}`` (A, B anticommuting involutions)
+follows the four-case table
+
+    commutes with A and B      ->  P
+    anticommutes with A only   ->  A B P
+    anticommutes with B only   -> -A B P
+    anticommutes with both     -> -P
+
+evaluated here as vectorized bit arithmetic over the packed symplectic
+form.  Hamiltonian terms always commute with B (B is a symmetry), so
+only the first two cases fire for H; operators that do not respect a
+symmetry (e.g. individual ADAPT pool generators) hit the other cases
+and end up with Z support on a pivot qubit — ``strict=False`` drops
+such terms, which is the standard pool-screening treatment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.ir.pauli import PauliSum
+from repro.ir.symplectic import (
+    SymplecticPauli,
+    gf2_kernel,
+    gf2_rref,
+    pack_masks,
+    pauli_mul_batch,
+    popcount_words,
+    unpack_masks,
+)
+
+__all__ = [
+    "TaperingError",
+    "TaperResult",
+    "find_z2_symmetries",
+    "sector_from_reference",
+    "taper_hamiltonian",
+]
+
+
+class TaperingError(ValueError):
+    """Raised when an operator cannot be tapered in strict mode."""
+
+
+def find_z2_symmetries(hamiltonian: PauliSum) -> List[int]:
+    """Independent Z-type Z2 symmetries of ``hamiltonian``.
+
+    Returns the z-masks ``s`` of generators ``Z^s``, in GF(2) RREF so
+    each generator owns an exclusive pivot bit.  Empty list when the
+    Hamiltonian has no Z-type symmetry.
+    """
+    n = hamiltonian.num_qubits
+    symp = hamiltonian.to_symplectic()
+    if symp.num_terms == 0:
+        return []
+    xs = np.unique(symp.x, axis=0)
+    kernel = gf2_kernel(xs, n)
+    if kernel.shape[0] == 0:
+        return []
+    reduced, _ = gf2_rref(kernel, n)
+    return [s for s in unpack_masks(reduced) if s != 0]
+
+
+def sector_from_reference(symmetries: List[int], reference_index: int) -> List[int]:
+    """Symmetry eigenvalues (+1/-1) of the computational-basis state
+    ``|reference_index>`` — e.g. the Hartree–Fock bitstring."""
+    return [
+        1 - 2 * (bin(s & reference_index).count("1") & 1) for s in symmetries
+    ]
+
+
+def _compress_masks(
+    x: np.ndarray, z: np.ndarray, keep: List[int], num_qubits: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Delete the non-kept qubit columns from packed (T, W) mask pairs,
+    renumbering kept qubit ``keep[j]`` to position ``j``."""
+    new_n = max(1, len(keep))
+    new_w = (new_n + 63) // 64
+    t = x.shape[0]
+    ox = np.zeros((t, new_w), dtype=np.uint64)
+    oz = np.zeros((t, new_w), dtype=np.uint64)
+    one = np.uint64(1)
+    for j, b in enumerate(keep):
+        sw, sb = divmod(b, 64)
+        dw, db = divmod(j, 64)
+        ox[:, dw] |= ((x[:, sw] >> np.uint64(sb)) & one) << np.uint64(db)
+        oz[:, dw] |= ((z[:, sw] >> np.uint64(sb)) & one) << np.uint64(db)
+    return ox, oz
+
+
+@dataclass
+class TaperResult:
+    """Outcome of tapering: the reduced Hamiltonian plus everything
+    needed to taper further operators and reference states into the
+    same symmetry sector."""
+
+    num_qubits: int
+    symmetries: List[int]
+    pivot_qubits: List[int]
+    sector: List[int]
+    hamiltonian: PauliSum
+    kept_qubits: List[int] = field(default_factory=list)
+
+    @property
+    def tapered_num_qubits(self) -> int:
+        return self.hamiltonian.num_qubits
+
+    @property
+    def qubits_removed(self) -> int:
+        return self.num_qubits - self.tapered_num_qubits
+
+    # -- operator tapering ---------------------------------------------------
+
+    def _conjugated(self, op: PauliSum) -> SymplecticPauli:
+        """``U_k ... U_1 op U_1 ... U_k`` in packed form."""
+        symp = op.to_symplectic()
+        x, z, c = symp.x.copy(), symp.z.copy(), symp.coeffs.copy()
+        for s_mask, q in zip(self.symmetries, self.pivot_qubits):
+            s_packed = pack_masks([s_mask], self.num_qubits)[0]
+            qw, qb = divmod(q, 64)
+            anti_a = ((z[:, qw] >> np.uint64(qb)) & np.uint64(1)).astype(bool)
+            anti_b = (popcount_words(x & s_packed[None, :]) & 1).astype(bool)
+            # anticommutes with exactly one of A, B -> multiply by A B,
+            # with a minus sign for the B-only case; both -> just -P.
+            c = np.where(anti_a ^ anti_b, c, np.where(anti_a & anti_b, -c, c))
+            rows = np.flatnonzero(anti_a ^ anti_b)
+            if rows.size:
+                sign = np.where(anti_a[rows], 1.0, -1.0)
+                # A B = X_q Z^s = -i P(e_q, s) in the Hermitian convention.
+                ab_x = np.zeros((1, x.shape[1]), dtype=np.uint64)
+                ab_x[0, qw] = np.uint64(1 << qb)
+                ab_z = s_packed[None, :].copy()
+                nx, nz, nc = pauli_mul_batch(
+                    ab_x,
+                    ab_z,
+                    np.array([-1j]),
+                    x[rows],
+                    z[rows],
+                    c[rows] * sign,
+                )
+                x[rows], z[rows], c[rows] = nx, nz, nc
+        return SymplecticPauli(self.num_qubits, x, z, c)
+
+    def taper_operator(self, op: PauliSum, strict: bool = True) -> PauliSum:
+        """Taper ``op`` into the stored sector.
+
+        Terms that do not commute with every symmetry survive
+        conjugation with Z support on a pivot qubit and cannot be
+        projected; ``strict=True`` raises :class:`TaperingError`,
+        ``strict=False`` drops them (pool-screening semantics).
+        """
+        if op.num_qubits != self.num_qubits:
+            raise ValueError("qubit count mismatch")
+        conj = self._conjugated(op)
+        x, z, c = conj.x, conj.z, conj.coeffs
+        # Z support on any pivot qubit => term broke a symmetry.
+        bad = np.zeros(x.shape[0], dtype=bool)
+        sign = np.ones(x.shape[0])
+        for s_i, q in zip(self.sector, self.pivot_qubits):
+            qw, qb = divmod(q, 64)
+            zbit = (z[:, qw] >> np.uint64(qb)) & np.uint64(1)
+            xbit = (x[:, qw] >> np.uint64(qb)) & np.uint64(1)
+            bad |= zbit.astype(bool)
+            if s_i < 0:
+                sign = np.where(xbit.astype(bool), -sign, sign)
+        if bad.any():
+            if strict:
+                raise TaperingError(
+                    f"{int(bad.sum())} term(s) do not commute with the "
+                    "Z2 symmetries; re-run with strict=False to drop them"
+                )
+            keep_rows = ~bad
+            x, z, c, sign = x[keep_rows], z[keep_rows], c[keep_rows], sign[keep_rows]
+        ox, oz = _compress_masks(x, z, self.kept_qubits, self.num_qubits)
+        new_n = max(1, len(self.kept_qubits))
+        reduced = SymplecticPauli(new_n, ox, oz, c * sign).dedup(threshold=0.0)
+        return PauliSum(new_n, reduced.to_terms_dict())
+
+    def taper_index(self, index: int) -> int:
+        """Project a computational-basis index (e.g. the HF bitstring)
+        onto the kept qubits."""
+        out = 0
+        for j, b in enumerate(self.kept_qubits):
+            out |= ((index >> b) & 1) << j
+        return out
+
+    def describe(self) -> str:
+        gens = ", ".join(
+            f"Z^{s:0{self.num_qubits}b}(q{q}:{'+' if v > 0 else '-'})"
+            for s, q, v in zip(self.symmetries, self.pivot_qubits, self.sector)
+        )
+        return (
+            f"{self.num_qubits}q -> {self.tapered_num_qubits}q "
+            f"[{len(self.symmetries)} Z2 symmetries: {gens}]"
+        )
+
+
+def taper_hamiltonian(
+    hamiltonian: PauliSum,
+    reference_index: Optional[int] = None,
+    sector: Optional[List[int]] = None,
+    symmetries: Optional[List[int]] = None,
+) -> TaperResult:
+    """Find (or accept) Z2 symmetries and taper ``hamiltonian``.
+
+    The sector comes from ``sector`` when given, else from the
+    computational-basis ``reference_index`` (use the Hartree–Fock
+    bitstring for ground-state work), else defaults to all ``+1``.
+    """
+    n = hamiltonian.num_qubits
+    if symmetries is None:
+        symmetries = find_z2_symmetries(hamiltonian)
+    else:
+        reduced, _ = gf2_rref(pack_masks(symmetries, n), n)
+        symmetries = [s for s in unpack_masks(reduced) if s != 0]
+    if not symmetries:
+        return TaperResult(
+            num_qubits=n,
+            symmetries=[],
+            pivot_qubits=[],
+            sector=[],
+            hamiltonian=hamiltonian,
+            kept_qubits=list(range(n)),
+        )
+    # RREF pivots are exclusive to their generator: the pivot bit of
+    # s_i is clear in every other s_j, which is what lets U_i act on
+    # tau_i alone.
+    _, pivots = gf2_rref(pack_masks(symmetries, n), n)
+    if sector is None:
+        if reference_index is not None:
+            sector = sector_from_reference(symmetries, reference_index)
+        else:
+            sector = [1] * len(symmetries)
+    if len(sector) != len(symmetries):
+        raise ValueError("sector length must match the number of symmetries")
+    kept = [q for q in range(n) if q not in set(pivots)]
+    result = TaperResult(
+        num_qubits=n,
+        symmetries=symmetries,
+        pivot_qubits=list(pivots),
+        sector=[1 if v > 0 else -1 for v in sector],
+        hamiltonian=hamiltonian,  # placeholder until tapered below
+        kept_qubits=kept,
+    )
+    result.hamiltonian = result.taper_operator(hamiltonian, strict=True)
+    if obs.enabled():
+        obs.inc(
+            "repro_taper_qubits_removed",
+            float(len(pivots)),
+            help="Qubits removed by Z2 tapering",
+        )
+    return result

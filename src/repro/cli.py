@@ -104,6 +104,7 @@ def _cmd_vqe(args: argparse.Namespace) -> int:
         active_orbitals=active,
         downfold=not args.no_downfold,
         compute_exact=not args.no_exact,
+        taper=args.taper,
     )
     dt = time.perf_counter() - t0
     _note_report(
@@ -112,6 +113,11 @@ def _cmd_vqe(args: argparse.Namespace) -> int:
             "qubits": result.num_qubits,
             "pauli_terms": result.qubit_hamiltonian.num_terms,
             "vqe_energy": result.vqe.energy,
+            "tapered_qubits": (
+                result.tapering.qubits_removed
+                if result.tapering is not None
+                else 0
+            ),
         },
         convergence={"energy": list(result.vqe.history)},
     )
@@ -136,12 +142,23 @@ def _cmd_vqe(args: argparse.Namespace) -> int:
                 "converged": result.vqe.converged,
                 "num_function_evaluations": result.vqe.num_function_evaluations,
                 "wall_time_s": dt,
+                "tapering": (
+                    {
+                        "symmetries": len(result.tapering.symmetries),
+                        "qubits_removed": result.tapering.qubits_removed,
+                        "sector": result.tapering.sector,
+                    }
+                    if result.tapering is not None
+                    else None
+                ),
                 "passed": not failed,
             }
         )
         return 1 if failed else 0
     print(f"molecule:        {molecule}")
     print(f"qubits:          {result.num_qubits}")
+    if result.tapering is not None:
+        print(f"tapering:        {result.tapering.describe()}")
     print(f"Pauli terms:     {result.qubit_hamiltonian.num_terms}")
     print(f"RHF energy:      {result.scf.energy:+.8f} Ha")
     if result.downfolding is not None:
@@ -161,9 +178,10 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
     from repro.chem.downfolding import hermitian_downfold
     from repro.chem.fci import exact_ground_energy
     from repro.chem.hamiltonian import build_molecular_hamiltonian
-    from repro.chem.pools import uccsd_pool
-    from repro.chem.reference import hartree_fock_state
+    from repro.chem.pools import taper_pool, uccsd_pool
+    from repro.chem.reference import hartree_fock_bitstring, hartree_fock_state
     from repro.chem.scf import run_rhf
+    from repro.chem.tapering import taper_hamiltonian
     from repro.core.adapt import AdaptVQE, convergence_traces
 
     molecule = _get_molecule(args.molecule)
@@ -180,10 +198,25 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
         n_elec = hamiltonian.num_electrons
     n_qubits = heff.num_qubits
     e_ref = exact_ground_energy(heff, num_particles=n_elec, sz=0)
+    pool = uccsd_pool(n_qubits, n_elec)
+    reference = hartree_fock_state(n_qubits, n_elec)
+    tapering = None
+    if args.taper:
+        import numpy as np
+
+        hf_index = hartree_fock_bitstring(n_qubits, n_elec)
+        tapering = taper_hamiltonian(heff, reference_index=hf_index)
+        heff = tapering.hamiltonian
+        pool = taper_pool(pool, tapering)
+        n_qubits = heff.num_qubits
+        reference = np.zeros(1 << n_qubits, dtype=np.complex128)
+        reference[tapering.taper_index(hf_index)] = 1.0
+        if not args.json:
+            print(f"tapering: {tapering.describe()}")
     adapt = AdaptVQE(
         heff,
-        uccsd_pool(n_qubits, n_elec),
-        hartree_fock_state(n_qubits, n_elec),
+        pool,
+        reference,
         max_iterations=args.max_iterations,
         reference_energy=e_ref,
         energy_tolerance=1e-3,
@@ -209,6 +242,15 @@ def _cmd_adapt(args: argparse.Namespace) -> int:
                 "final_energy": result.energy,
                 "converged": result.converged,
                 "mha_at_iteration": hit,
+                "tapering": (
+                    {
+                        "symmetries": len(tapering.symmetries),
+                        "qubits_removed": tapering.qubits_removed,
+                        "sector": tapering.sector,
+                    }
+                    if tapering is not None
+                    else None
+                ),
                 "iterations": [
                     {
                         "iteration": it.iteration,
@@ -265,6 +307,8 @@ def _cmd_counts(args: argparse.Namespace) -> int:
         energy_evaluation_gate_counts,
         jw_pauli_term_count,
         statevector_memory_bytes,
+        tapered_qubit_count,
+        tapered_statevector_memory_bytes,
         uccsd_gate_count,
     )
 
@@ -277,6 +321,10 @@ def _cmd_counts(args: argparse.Namespace) -> int:
                 "uccsd_gates": uccsd_gate_count(n),
                 "pauli_terms": jw_pauli_term_count(n),
                 "memory_gib": statevector_memory_bytes(n) / (1 << 30),
+                "tapered_qubits": tapered_qubit_count(n),
+                "tapered_memory_gib": (
+                    tapered_statevector_memory_bytes(n) / (1 << 30)
+                ),
                 "non_caching_gates": cost.non_caching_gates,
                 "caching_gates": cost.caching_gates,
             }
@@ -287,12 +335,14 @@ def _cmd_counts(args: argparse.Namespace) -> int:
         return 0
     print(
         f"{'qubits':>7} {'uccsd_gates':>12} {'pauli_terms':>12} "
-        f"{'memory_GiB':>11} {'non_caching':>12} {'caching':>10}"
+        f"{'memory_GiB':>11} {'tapered_q':>9} {'tapered_GiB':>11} "
+        f"{'non_caching':>12} {'caching':>10}"
     )
     for r in rows:
         print(
             f"{r['qubits']:>7} {r['uccsd_gates']:>12,} {r['pauli_terms']:>12,} "
             f"{r['memory_gib']:>11.4f} "
+            f"{r['tapered_qubits']:>9} {r['tapered_memory_gib']:>11.4f} "
             f"{r['non_caching_gates']:>12.2e} {r['caching_gates']:>10.2e}"
         )
     return 0
@@ -805,6 +855,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_vqe.add_argument("--core", default="", help="comma-separated core orbitals")
     p_vqe.add_argument("--active", default="", help="comma-separated active orbitals")
     p_vqe.add_argument("--no-downfold", action="store_true")
+    p_vqe.add_argument(
+        "--taper",
+        action="store_true",
+        help="remove Z2 symmetry qubits before VQE (HF sector)",
+    )
     p_vqe.add_argument("--no-exact", action="store_true")
     p_vqe.add_argument("--tol", type=float, default=1e-4)
     p_vqe.add_argument("--json", action="store_true", help="emit JSON on stdout")
@@ -821,6 +876,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_adapt.add_argument("--core", default="")
     p_adapt.add_argument("--active", default="")
     p_adapt.add_argument("--max-iterations", type=int, default=25)
+    p_adapt.add_argument(
+        "--taper",
+        action="store_true",
+        help="remove Z2 symmetry qubits before ADAPT (HF sector)",
+    )
     p_adapt.add_argument("--json", action="store_true", help="emit JSON on stdout")
     p_adapt.add_argument(
         "--plan-stats",

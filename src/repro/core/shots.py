@@ -94,11 +94,18 @@ def sampled_energy_with_allocation(
         sim.set_state(state, copy=True)
         sim.apply_circuit(circ)
         samples = sim.sample(s, rng)
-        for coeff, pstr in g:
-            if pstr.is_identity:
-                total += coeff.real
-                continue
-            z_mask = pstr.x | pstr.z
-            signs = 1.0 - 2.0 * (count_set_bits(samples & z_mask) & 1)
-            total += coeff.real * float(np.mean(signs))
+        # One (shots, terms) parity pass for the whole group instead of
+        # a Python loop over members.
+        ident = np.array([p.is_identity for _, p in g])
+        coeffs = np.array([c.real for c, _ in g])
+        total += float(coeffs[ident].sum())
+        z_masks = np.array(
+            [p.x | p.z for _, p in g if not p.is_identity], dtype=np.int64
+        )
+        if z_masks.size:
+            parities = (
+                count_set_bits(samples[:, None] & z_masks[None, :]) & 1
+            )
+            means = 1.0 - 2.0 * parities.mean(axis=0)
+            total += float(coeffs[~ident] @ means)
     return total

@@ -42,7 +42,7 @@ import numpy as np
 
 from repro import obs
 from repro.ir.pauli import PauliSum
-from repro.utils.bitops import I_POW, basis_indices, count_set_bits, popcount
+from repro.utils.bitops import I_POW, basis_indices, count_set_bits
 
 __all__ = ["CompiledPauliSum", "compile_observable"]
 
@@ -73,24 +73,36 @@ class CompiledPauliSum:
         self.num_terms = pauli_sum.num_terms
         self.source_version = pauli_sum.version
 
-        by_x: "dict[int, list[tuple[int, complex]]]" = {}
-        for (x, z), coeff in pauli_sum.terms.items():
-            by_x.setdefault(x, []).append((z, coeff))
-        # x = 0 (the gather-free diagonal pass) first, then ascending.
-        masks = sorted(by_x)
-
         idx = basis_indices(n)
-        diagonals = np.zeros((len(masks), dim), dtype=np.complex128)
-        gathers: List[Optional[np.ndarray]] = []
-        for row, x in enumerate(masks):
-            d = diagonals[row]
-            for z, coeff in by_x[x]:
-                weight = coeff * I_POW[popcount(x & z) % 4]
-                if z == 0:
-                    d += weight
-                else:
-                    d += weight * (1.0 - 2.0 * (count_set_bits(idx & z) & 1))
-            gathers.append(None if x == 0 else idx ^ x)
+        if pauli_sum.num_terms == 0:
+            masks: List[int] = []
+            diagonals = np.zeros((0, dim), dtype=np.complex128)
+            gathers: List[Optional[np.ndarray]] = []
+        else:
+            # Vectorized build over the packed symplectic form: phase
+            # weights for all terms at once, then one chunked sign-matrix
+            # matmul per distinct x-mask (x = 0, the gather-free diagonal
+            # pass, sorts first).
+            symp = pauli_sum.to_symplectic()
+            xs = symp.x[:, 0].astype(np.int64)
+            zs = symp.z[:, 0].astype(np.int64)
+            phases = count_set_bits(symp.x & symp.z).sum(axis=-1) % 4
+            weights = symp.coeffs * np.asarray(I_POW)[phases]
+            ux, inverse = np.unique(xs, return_inverse=True)
+            order = np.argsort(inverse, kind="stable")
+            bounds = np.searchsorted(inverse[order], np.arange(len(ux) + 1))
+            masks = [int(x) for x in ux]
+            diagonals = np.zeros((len(ux), dim), dtype=np.complex128)
+            gathers = []
+            for row in range(len(ux)):
+                rows = order[bounds[row] : bounds[row + 1]]
+                for lo in range(0, rows.size, 512):
+                    sub = rows[lo : lo + 512]
+                    signs = 1.0 - 2.0 * (
+                        count_set_bits(idx[None, :] & zs[sub, None]) & 1
+                    )
+                    diagonals[row] += weights[sub] @ signs
+                gathers.append(None if ux[row] == 0 else idx ^ int(ux[row]))
         self.x_masks: Tuple[int, ...] = tuple(masks)
         self.diagonals = diagonals
         self.gathers = gathers

@@ -1,0 +1,392 @@
+"""Property tests for the packed symplectic Pauli engine and Z2 qubit
+tapering: engine kernels vs the per-term reference loops, phase
+conventions, GF(2) linear algebra, and tapered-vs-full ground energies."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+import repro.chem.mappings as mappings
+from repro import obs
+from repro.chem.fermion import FermionOperator
+from repro.chem.fci import exact_ground_energy
+from repro.chem.hamiltonian import (
+    build_molecular_hamiltonian,
+    synthetic_two_body_hamiltonian,
+)
+from repro.chem.mappings import map_fermion_operator
+from repro.chem.molecule import h2, lih
+from repro.chem.reference import hartree_fock_bitstring, hartree_fock_state
+from repro.chem.scf import run_rhf
+from repro.chem.tapering import (
+    TaperingError,
+    find_z2_symmetries,
+    sector_from_reference,
+    taper_hamiltonian,
+)
+from repro.ir.pauli import PauliString, PauliSum
+from repro.ir.symplectic import (
+    SymplecticPauli,
+    gf2_kernel,
+    gf2_rref,
+    pack_masks,
+    pauli_mul_batch,
+    unpack_masks,
+)
+
+coeffs = st.complex_numbers(
+    min_magnitude=0.1, max_magnitude=2.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def pauli_sums(draw, n=6, min_terms=1, max_terms=8):
+    out = PauliSum.zero(n)
+    for _ in range(draw(st.integers(min_terms, max_terms))):
+        x = draw(st.integers(0, (1 << n) - 1))
+        z = draw(st.integers(0, (1 << n) - 1))
+        out.add_term(PauliString(n, x, z), draw(coeffs))
+    return out
+
+
+def _terms_close(a: PauliSum, b: PauliSum, atol=1e-9):
+    keys = set(a.terms) | set(b.terms)
+    return all(
+        abs(a.terms.get(k, 0.0) - b.terms.get(k, 0.0)) < atol for k in keys
+    )
+
+
+# -- packing ------------------------------------------------------------------
+
+
+class TestPacking:
+    @given(
+        st.integers(1, 140),
+        st.lists(st.integers(0, (1 << 140) - 1), min_size=0, max_size=6),
+    )
+    def test_pack_unpack_round_trip(self, n, masks):
+        masks = [m & ((1 << n) - 1) for m in masks]
+        packed = pack_masks(masks, n)
+        assert packed.shape == (len(masks), (n + 63) // 64)
+        assert unpack_masks(packed) == masks
+
+    @given(pauli_sums(n=6))
+    def test_pauli_sum_round_trip(self, ps):
+        symp = SymplecticPauli.from_pauli_sum(ps)
+        back = symp.to_pauli_sum()
+        assert _terms_close(ps, back)
+
+    @given(pauli_sums(n=70, max_terms=5))
+    def test_multiword_round_trip(self, ps):
+        symp = SymplecticPauli.from_pauli_sum(ps)
+        assert symp.num_words == 2
+        assert _terms_close(ps, symp.to_pauli_sum())
+
+    def test_labels_match_pauli_strings(self):
+        ps = PauliSum.from_label_dict({"XZYI": 1.0, "IIXY": 2.0, "ZZZZ": 3.0})
+        symp = ps.to_symplectic()
+        expect = {p.label() for _, p in ps}
+        assert set(symp.labels()) == expect
+
+
+# -- engine vs per-term loops -------------------------------------------------
+
+
+class TestEngineMatchesPerTerm:
+    @given(pauli_sums(n=6), pauli_sums(n=6))
+    def test_product(self, a, b):
+        reference = a._dot_per_term(b)
+        engine = PauliSum(6, a.to_symplectic().mul(b.to_symplectic()).to_terms_dict())
+        assert _terms_close(reference, engine)
+
+    @given(pauli_sums(n=70, max_terms=5), pauli_sums(n=70, max_terms=5))
+    def test_product_multiword(self, a, b):
+        reference = a._dot_per_term(b)
+        engine = PauliSum(
+            70, a.to_symplectic().mul(b.to_symplectic()).to_terms_dict()
+        )
+        assert _terms_close(reference, engine)
+
+    @given(pauli_sums(n=6), pauli_sums(n=6))
+    def test_commutator(self, a, b):
+        reference = a._commutator_per_term(b)
+        engine = PauliSum(
+            6, a.to_symplectic().commutator(b.to_symplectic()).to_terms_dict()
+        )
+        assert _terms_close(reference, engine)
+
+    def test_phase_convention_vs_pauli_string(self):
+        rng = np.random.default_rng(7)
+        n = 9
+        for _ in range(200):
+            x1, z1, x2, z2 = (int(v) for v in rng.integers(0, 1 << n, 4))
+            phase, p3 = PauliString(n, x1, z1).mul(PauliString(n, x2, z2))
+            x3, z3, c3 = pauli_mul_batch(
+                pack_masks([x1], n),
+                pack_masks([z1], n),
+                np.array([1.0 + 0j]),
+                pack_masks([x2], n),
+                pack_masks([z2], n),
+                np.array([1.0 + 0j]),
+            )
+            assert unpack_masks(x3) == [p3.x]
+            assert unpack_masks(z3) == [p3.z]
+            assert abs(c3[0] - phase) < 1e-12
+
+    @given(pauli_sums(n=6, min_terms=2, max_terms=10))
+    def test_dedup_collapses_duplicates(self, ps):
+        symp = ps.to_symplectic()
+        doubled = SymplecticPauli(
+            6,
+            np.concatenate([symp.x, symp.x]),
+            np.concatenate([symp.z, symp.z]),
+            np.concatenate([symp.coeffs, symp.coeffs]),
+        ).dedup()
+        assert _terms_close(
+            PauliSum(6, doubled.to_terms_dict()), PauliSum(6, ps.terms) * 2.0
+        )
+
+
+# -- operator protocol (scalar algebra) ---------------------------------------
+
+
+class TestScalarProtocol:
+    def setup_method(self):
+        self.a = PauliSum.from_label_dict({"XY": 1.5, "ZI": -0.5j, "II": 2.0})
+
+    def test_zero_scalar_gives_zero_sum(self):
+        out = self.a * 0
+        assert out.num_terms == 0
+        assert out.num_qubits == self.a.num_qubits
+
+    def test_scalar_scales_every_term(self):
+        out = self.a * (2.0 - 1.0j)
+        for key, c in self.a.terms.items():
+            assert out.terms[key] == c * (2.0 - 1.0j)
+
+    def test_rmul_matches_mul(self):
+        assert (3.0 * self.a).terms == (self.a * 3.0).terms
+
+    def test_truediv(self):
+        out = self.a / 2.0
+        for key, c in self.a.terms.items():
+            assert abs(out.terms[key] - c / 2.0) < 1e-15
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            self.a / 0.0
+
+    def test_simplify_merges_and_chops(self):
+        ps = PauliSum.zero(2)
+        ps.add_term(PauliString(2, 1, 0), 1.0)
+        ps.add_term(PauliString(2, 1, 0), -1.0 + 1e-12)
+        ps.add_term(PauliString(2, 0, 3), 0.5)
+        out = ps.simplify(threshold=1e-9)
+        assert out.terms == {(0, 3): 0.5}
+
+
+# -- grouping -----------------------------------------------------------------
+
+
+class TestQWCGrouping:
+    def _random_sum(self, n_terms, n=8, seed=3):
+        rng = np.random.default_rng(seed)
+        ps = PauliSum.zero(n)
+        for _ in range(n_terms):
+            ps.add_term(
+                PauliString(
+                    n,
+                    int(rng.integers(0, 1 << n)),
+                    int(rng.integers(0, 1 << n)),
+                ),
+                complex(rng.normal(), rng.normal()),
+            )
+        return ps
+
+    @pytest.mark.parametrize("n_terms", [20, 120])  # per-term and engine paths
+    def test_groups_partition_and_commute(self, n_terms):
+        ps = self._random_sum(n_terms)
+        groups = ps.group_qubitwise_commuting()
+        seen = []
+        for g in groups:
+            for _, p in g:
+                seen.append((p.x, p.z))
+            for i in range(len(g)):
+                for j in range(i + 1, len(g)):
+                    assert g[i][1].qubitwise_commutes_with(g[j][1])
+        assert sorted(seen) == sorted(ps.terms.keys())
+
+    def test_engine_matches_per_term_groups(self):
+        ps = self._random_sum(150, seed=11)
+        a = ps._group_qwc_per_term()
+        b = ps._group_qwc_engine()
+        key = lambda g: sorted((p.x, p.z) for _, p in g)  # noqa: E731
+        assert sorted(map(key, a)) == sorted(map(key, b))
+
+
+# -- GF(2) linear algebra -----------------------------------------------------
+
+
+class TestGF2:
+    @given(
+        st.integers(2, 24),
+        st.lists(st.integers(0, (1 << 24) - 1), min_size=1, max_size=10),
+    )
+    def test_kernel_orthogonal_and_rank_nullity(self, n, rows):
+        rows = [r & ((1 << n) - 1) for r in rows]
+        mat = pack_masks(rows, n)
+        kernel = gf2_kernel(mat, n)
+        _, pivots = gf2_rref(mat, n)
+        assert len(kernel) == n - len(pivots)  # rank-nullity
+        for k in unpack_masks(kernel) if len(kernel) else []:
+            for r in rows:
+                assert bin(k & r).count("1") % 2 == 0
+
+    @given(
+        st.integers(2, 16),
+        st.lists(st.integers(1, (1 << 16) - 1), min_size=1, max_size=6),
+    )
+    def test_rref_preserves_row_space(self, n, rows):
+        rows = [r & ((1 << n) - 1) for r in rows if r & ((1 << n) - 1)]
+        if not rows:
+            return
+        rref, pivots = gf2_rref(pack_masks(rows, n), n)
+        spans = unpack_masks(rref)
+        # pivot columns are exclusive to their row, so reducing an
+        # original row by each pivot bit must reach exactly zero
+        for r in rows:
+            acc = r
+            for s, col in zip(spans, pivots):
+                if acc & (1 << col):
+                    acc ^= s
+            assert acc == 0
+
+
+# -- batched fermionic mapping ------------------------------------------------
+
+ladder_ops = st.lists(
+    st.tuples(st.integers(0, 5), st.booleans()), min_size=0, max_size=4
+)
+
+
+@st.composite
+def fermion_operators(draw, max_terms=6):
+    op = FermionOperator()
+    for _ in range(draw(st.integers(1, max_terms))):
+        op = op + FermionOperator.term(draw(ladder_ops), draw(coeffs))
+    return op
+
+
+class TestBatchedMapping:
+    @pytest.mark.parametrize(
+        "mapping", ["jordan-wigner", "parity", "bravyi-kitaev"]
+    )
+    @given(op=fermion_operators())
+    def test_batched_matches_per_term(self, mapping, op):
+        # Force the batched path regardless of operator size.
+        old = mappings._BATCH_TERM_CUTOFF
+        mappings._BATCH_TERM_CUTOFF = 0
+        try:
+            batched = map_fermion_operator(op, 6, mapping)
+        finally:
+            mappings._BATCH_TERM_CUTOFF = old
+        reference = mappings._map_fermion_operator_per_term(op, 6, mapping)
+        assert _terms_close(reference, batched, atol=1e-10)
+
+
+# -- Z2 tapering --------------------------------------------------------------
+
+
+class TestTapering:
+    def test_h2_tapers_to_one_qubit(self):
+        scf = run_rhf(h2())
+        mh = build_molecular_hamiltonian(scf)
+        h = mh.to_qubit("jordan-wigner")
+        hf = hartree_fock_bitstring(h.num_qubits, mh.num_electrons)
+        tapering = taper_hamiltonian(h, reference_index=hf)
+        assert tapering.qubits_removed >= 3
+        e_full = exact_ground_energy(h, num_particles=mh.num_electrons, sz=0)
+        e_tapered = exact_ground_energy(tapering.hamiltonian)
+        assert abs(e_full - e_tapered) < 1e-8
+
+    def test_lih_tapers_at_least_three_qubits(self):
+        scf = run_rhf(lih())
+        mh = build_molecular_hamiltonian(scf)
+        h = mh.to_qubit("jordan-wigner")
+        hf = hartree_fock_bitstring(h.num_qubits, mh.num_electrons)
+        tapering = taper_hamiltonian(h, reference_index=hf)
+        assert tapering.qubits_removed >= 3
+        e_full = exact_ground_energy(h, num_particles=mh.num_electrons, sz=0)
+        e_tapered = exact_ground_energy(tapering.hamiltonian)
+        assert abs(e_full - e_tapered) < 1e-8
+
+    def test_hf_expectation_preserved(self):
+        scf = run_rhf(h2())
+        mh = build_molecular_hamiltonian(scf)
+        h = mh.to_qubit("jordan-wigner")
+        n = h.num_qubits
+        hf = hartree_fock_bitstring(n, mh.num_electrons)
+        tapering = taper_hamiltonian(h, reference_index=hf)
+        state = hartree_fock_state(n, mh.num_electrons)
+        e_before = np.vdot(state, h.to_matrix() @ state).real
+        tn = tapering.tapered_num_qubits
+        tstate = np.zeros(1 << tn, dtype=np.complex128)
+        tstate[tapering.taper_index(hf)] = 1.0
+        e_after = np.vdot(
+            tstate, tapering.hamiltonian.to_matrix() @ tstate
+        ).real
+        assert abs(e_before - e_after) < 1e-10
+
+    def test_synthetic_has_spin_parity_symmetries(self):
+        # Dense two-body integrals leave exactly the two spin-parity
+        # symmetries (Z on all alpha qubits, Z on all beta qubits) —
+        # the closed form behind counting.z2_symmetry_count.
+        mh = synthetic_two_body_hamiltonian(3)
+        h = mh.to_qubit("jordan-wigner")
+        syms = find_z2_symmetries(h)
+        n = h.num_qubits
+        alpha = sum(1 << q for q in range(0, n, 2))
+        beta = sum(1 << q for q in range(1, n, 2))
+        # the kernel basis spans {alpha, beta}; any two independent
+        # members of that span are an equivalent answer
+        assert len(syms) == 2
+        span = {0, alpha, beta, alpha ^ beta}
+        assert all(s in span for s in syms)
+
+    def test_sector_from_reference_signs(self):
+        # even overlap -> +1, odd overlap -> -1
+        assert sector_from_reference([0b0011, 0b0101], 0b0011) == [1, -1]
+
+    def test_strict_raises_on_symmetry_breaking_operator(self):
+        mh = synthetic_two_body_hamiltonian(2)
+        h = mh.to_qubit("jordan-wigner")
+        hf = hartree_fock_bitstring(h.num_qubits, mh.num_electrons)
+        tapering = taper_hamiltonian(h, reference_index=hf)
+        # a single X on qubit 0 flips one spin: breaks spin parity
+        bad = PauliSum.from_string(PauliString(h.num_qubits, x=1))
+        with pytest.raises(TaperingError):
+            tapering.taper_operator(bad, strict=True)
+        dropped = tapering.taper_operator(bad, strict=False)
+        assert dropped.num_terms == 0
+
+    def test_taper_emits_obs_counter(self):
+        obs.reset()
+        obs.configure(enabled=True)
+        try:
+            mh = synthetic_two_body_hamiltonian(2)
+            h = mh.to_qubit("jordan-wigner")
+            hf = hartree_fock_bitstring(h.num_qubits, mh.num_electrons)
+            tapering = taper_hamiltonian(h, reference_index=hf)
+            snap = {
+                m["name"]: m["value"]
+                for m in obs.get_registry().snapshot()
+                if m.get("type") == "counter"
+            }
+            assert (
+                snap.get("repro_taper_qubits_removed", 0.0)
+                >= tapering.qubits_removed
+            )
+        finally:
+            obs.disable()
+            obs.reset()
