@@ -15,6 +15,10 @@ span) and `obs.enabled()` guards, so the bound is checked two ways:
 The event bus (`repro.obs.events`) joins the same contract: with no
 bus installed, the module-level `emit()` is a constant-time guard, so
 even one emit per instrumentation event stays under the same 5% bound.
+So does the memory ledger (`repro.obs.memory`): with observability off,
+`obs.mem_alloc` returns the no-op handle 0 after a single flag check
+and `mem_free`/`mem_resize` of handle 0 are dictionary misses, so even
+one ledger call per instrumentation event stays under the bound too.
 """
 
 import statistics
@@ -95,6 +99,22 @@ def _noop_emit_cost_s(calls=200_000):
     return (time.perf_counter() - t0) / calls
 
 
+def _noop_mem_cost_s(calls=200_000):
+    """Per-call cost of the disabled memory-ledger hooks: `mem_alloc`
+    returning handle 0, and `mem_free`/`mem_resize` of handle 0."""
+    assert not obs.enabled()
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        obs.mem_alloc("bench", 1024)
+    alloc_cost = (time.perf_counter() - t0) / calls
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        obs.mem_free(0)
+        obs.mem_resize(0, 2048)
+    free_cost = (time.perf_counter() - t0) / (2 * calls)
+    return max(alloc_cost, free_cost)
+
+
 def _measure():
     obs.disable()
     obs.reset()
@@ -106,6 +126,7 @@ def _measure():
     disabled_s = _median_iteration_s(vqe, params)
     per_event_s = _noop_event_cost_s()
     per_emit_s = _noop_emit_cost_s()
+    per_mem_s = _noop_mem_cost_s()
 
     # One enabled iteration counts the instrumentation events the
     # disabled path still touches (spans entered + counter guards).
@@ -136,14 +157,18 @@ def _measure():
     bound_fraction = (events * per_event_s) / disabled_s
     # worst-case bus bound: one no-bus emit per instrumentation event
     bus_bound_fraction = (events * per_emit_s) / disabled_s
+    # worst-case ledger bound: one disabled mem_* call per event
+    mem_bound_fraction = (events * per_mem_s) / disabled_s
     return {
         "disabled_s": disabled_s,
         "enabled_s": enabled_s,
         "per_event_s": per_event_s,
         "per_emit_s": per_emit_s,
+        "per_mem_s": per_mem_s,
         "events": events,
         "bound_fraction": bound_fraction,
         "bus_bound_fraction": bus_bound_fraction,
+        "mem_bound_fraction": mem_bound_fraction,
     }
 
 
@@ -159,8 +184,10 @@ def test_disabled_obs_overhead_under_budget(benchmark):
             ("instrumentation events/iter", m["events"]),
             ("no-op cost/event (s)", f"{m['per_event_s']:.2e}"),
             ("no-bus cost/emit (s)", f"{m['per_emit_s']:.2e}"),
+            ("no-ledger cost/mem call (s)", f"{m['per_mem_s']:.2e}"),
             ("disabled overhead bound", f"{m['bound_fraction']:.4%}"),
             ("event-bus overhead bound", f"{m['bus_bound_fraction']:.4%}"),
+            ("mem-ledger overhead bound", f"{m['mem_bound_fraction']:.4%}"),
             ("budget", f"{OVERHEAD_BUDGET:.0%}"),
         ],
         caption="Disabled-observability overhead on a 12-qubit VQE "
@@ -170,3 +197,4 @@ def test_disabled_obs_overhead_under_budget(benchmark):
     assert m["events"] > 0  # the hot path is actually instrumented
     assert m["bound_fraction"] < OVERHEAD_BUDGET
     assert m["bus_bound_fraction"] < OVERHEAD_BUDGET
+    assert m["mem_bound_fraction"] < OVERHEAD_BUDGET

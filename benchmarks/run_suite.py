@@ -71,6 +71,10 @@ class _Collector:
         # (bench_obs_overhead does); re-arm before every test and clamp
         # the deltas below.
         obs.configure(enabled=True)
+        # rebase the memory ledger (peak := live) so each entry's
+        # peak_bytes reflects this benchmark, not the suite-wide high
+        # water mark
+        obs.get_memory_ledger().reset()
         self._pre[item.nodeid] = _counter_snapshot()
 
     def pytest_runtest_logreport(self, report) -> None:
@@ -89,12 +93,14 @@ class _Collector:
             if value - pre.get(name, 0.0) > 0.0
         }
         sim_s = deltas.pop(_SIM_COUNTER, None)
+        peak = int(obs.get_memory_ledger().peak_bytes)
         self.report.entries.append(
             BenchEntry(
                 name=report.nodeid,
                 wall_s=float(report.duration),
                 ok=report.outcome == "passed",
                 sim_s=sim_s,
+                peak_bytes=peak if peak > 0 else None,
                 counters=deltas,
             )
         )

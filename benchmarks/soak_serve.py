@@ -15,7 +15,13 @@ Drives the real CLI in subprocesses, exactly like an operator would:
    sequence numbers strictly increase across the restart, the stream
    parses around any torn tail, completion events never contradict the
    journal, and ``repro top --once --json`` renders the whole story
-   out-of-process.
+   out-of-process,
+8. assert the memory ledger did not leak across the restart+replay:
+   once the backlog is drained, the restarted server's ``status.json``
+   must show zero predicted bytes still queued/running and a ledger
+   live set holding only the shared problem cache and pooled
+   simulators — never per-job buffers retained after their jobs
+   reached a terminal state.
 
 Run from the repository root:
 
@@ -82,6 +88,9 @@ def _start_server(state_dir: str, *extra: str) -> subprocess.Popen:
             "--fsync",
             "--tick-sleep",
             "0.01",
+            # enable observability so the allocation ledger runs and
+            # status.json carries the memory section the soak asserts on
+            "--profile",
             *extra,
         ],
         stdout=subprocess.PIPE,
@@ -211,6 +220,38 @@ def main() -> int:
     if phantom:
         failures.append(f"completion events with no journal record: {phantom}")
 
+    # 8. memory-ledger hygiene across the kill: the restarted server
+    # replayed the journal, resumed/re-ran the backlog, and went idle —
+    # its final status.json must show the accounting fully unwound.
+    memory = (view.get("health") or {}).get("memory") or {}
+    if not memory:
+        failures.append("status.json carries no memory section")
+    else:
+        if memory.get("rank_memory_bytes", 0) <= 0:
+            failures.append(f"no rank memory budget published: {memory}")
+        if memory.get("queued_est_bytes", 0) != 0:
+            failures.append(
+                "predicted bytes still queued at idle (est-byte leak "
+                f"through replay): {memory}"
+            )
+        if memory.get("running_est_bytes", 0) != 0:
+            failures.append(
+                f"predicted bytes still running at idle: {memory}"
+            )
+        live = memory.get("ledger_live_bytes", 0)
+        peak = memory.get("ledger_peak_bytes", 0)
+        if not 0 <= live <= peak:
+            failures.append(f"ledger live/peak inconsistent: {memory}")
+        # at idle only the shared problem cache (~0.4 MiB for the h2/h4
+        # Hamiltonians + UCCSD generator observables) and the pooled
+        # 4/8-qubit simulators may stay live; retaining even one job's
+        # buffers past its terminal state would blow through this
+        if live > 2 << 20:
+            failures.append(
+                f"ledger leak: {live} bytes live after drain "
+                "(per-job buffers retained past terminal state?)"
+            )
+
     top = _cli("top", "--state-dir", state_dir, "--once", "--json", check=False)
     if top.returncode != 0:
         failures.append(f"repro top --once --json exited {top.returncode}")
@@ -231,7 +272,8 @@ def main() -> int:
         f"PASS: {len(succeeded)} jobs succeeded across the kill "
         f"({resumed} resumed from checkpoints, rank 1 lost and stayed lost, "
         f"{len(journal)} journal records, {len(events)} events replayed "
-        f"consistently, no duplicated completions)"
+        f"consistently, no duplicated completions, "
+        f"{memory.get('ledger_live_bytes', 0)} ledger bytes live at idle)"
     )
     return 0
 

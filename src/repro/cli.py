@@ -531,6 +531,28 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
     with open(args.path) as fh:
         payload = json.load(fh)
+    if args.memory:
+        if "traceEvents" in payload:
+            print(
+                "--memory needs a run report (--report-out); Chrome traces "
+                "carry spans, not the allocation ledger",
+                file=sys.stderr,
+            )
+            return 1
+        report = RunReport.from_dict(payload)
+        if not report.memory:
+            print(
+                "no memory data in this report (record with observability "
+                "enabled so the allocation ledger is populated)",
+                file=sys.stderr,
+            )
+            return 1
+        if args.json:
+            _emit_json(report.memory)
+        else:
+            print(f"=== memory observatory ({args.path}) ===")
+            print(report.memory_summary())
+        return 0
     if "traceEvents" in payload:  # Chrome trace written with --trace-out
         analysis = PerfAnalysis.from_chrome_trace(payload, top_k=args.top_k)
         source = "chrome trace"
@@ -554,17 +576,39 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_diff(args: argparse.Namespace) -> int:
-    from repro.obs.bench import BenchReport, compare
+    from repro.obs.bench import BenchReport, compare, counter_deltas
 
     old = BenchReport.load(args.old)
     new = BenchReport.load(args.new)
     diff = compare(
-        old, new, threshold=args.threshold, min_wall_s=args.min_wall_s
+        old,
+        new,
+        threshold=args.threshold,
+        min_wall_s=args.min_wall_s,
+        mem_threshold=args.mem_threshold,
     )
     if args.json:
         _emit_json(diff.to_dict())
     else:
         print(diff.render())
+        if args.explain and (diff.regressions or diff.failed):
+            print()
+            print("explain (top counter movements per flagged benchmark):")
+            for delta in diff.regressions:
+                old_entry = old.entry(delta.name)
+                new_entry = new.entry(delta.name)
+                if old_entry is None or new_entry is None:
+                    continue
+                rows = counter_deltas(old_entry, new_entry, top_k=args.top_k)
+                print(f"  {delta.name}")
+                if not rows:
+                    print("    (no key counters moved — look at the code, "
+                          "not the harness)")
+                for name, old_v, new_v in rows:
+                    change = (
+                        f"{new_v / old_v:.2f}x" if old_v else "new"
+                    )
+                    print(f"    {name:<46} {old_v:>14g} -> {new_v:<14g} {change}")
     return 1 if diff.has_regressions else 0
 
 
@@ -597,6 +641,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_specs=fault_specs,
         fault_seed=args.seed,
         fsync=args.fsync,
+        rank_memory_bytes=args.rank_memory_bytes,
     )
     server = CampaignServer(args.state_dir, config)
     try:
@@ -941,6 +986,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument(
         "--json", action="store_true", help="emit the analysis as JSON"
     )
+    p_analyze.add_argument(
+        "--memory",
+        action="store_true",
+        help="show the allocation-ledger section of a run report "
+        "(per-category peaks, per-rank peaks, top allocating spans)",
+    )
     p_analyze.set_defaults(func=_cmd_analyze)
 
     p_bdiff = sub.add_parser(
@@ -960,6 +1011,23 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.05,
         help="ignore entries where both sides are faster than this (noise floor)",
+    )
+    p_bdiff.add_argument(
+        "--mem-threshold",
+        type=float,
+        default=None,
+        help="flag entries whose peak ledger bytes grew by this factor "
+        "(default: same as --threshold)",
+    )
+    p_bdiff.add_argument(
+        "--explain",
+        action="store_true",
+        help="on flagged regressions, print the top counter movements "
+        "between the two runs",
+    )
+    p_bdiff.add_argument(
+        "--top-k", type=int, default=5,
+        help="counter movements to list per flagged benchmark (--explain)",
     )
     p_bdiff.add_argument(
         "--json", action="store_true", help="emit the diff as JSON"
@@ -989,6 +1057,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--checkpoint-period", type=int, default=1)
     p_serve.add_argument("--max-attempts", type=int, default=3)
     p_serve.add_argument("--queue-limit", type=int, default=64)
+    p_serve.add_argument(
+        "--rank-memory-bytes",
+        type=int,
+        default=16 << 30,
+        help="memory budget of one worker rank; jobs predicted to "
+        "exceed it are rejected at admission (default 16 GiB)",
+    )
     p_serve.add_argument("--tenant-queue-limit", type=int, default=16)
     p_serve.add_argument(
         "--timeout", type=float, default=None,

@@ -63,6 +63,7 @@ class PostAnsatzCache:
         self,
         device_capacity_bytes: int = 4 * (1 << 30),
         max_entries: int = 4,
+        mem_category: str = "post_ansatz_cache",
     ):
         self.device_capacity_bytes = device_capacity_bytes
         self.max_entries = max_entries
@@ -70,9 +71,12 @@ class PostAnsatzCache:
         self._order: List[Tuple[float, ...]] = []
         self._on_device: Dict[Tuple[float, ...], bool] = {}
         self.device_bytes_used = 0
+        self.total_bytes = 0  # device + host resident (both live in RAM)
         self.hits = 0
         self.misses = 0
         self.host_spills = 0
+        self.mem_category = mem_category
+        self._mem = obs.mem_track(self, mem_category, 0)
 
     def _key(self, params: np.ndarray) -> Tuple[float, ...]:
         return tuple(float(p) for p in np.atleast_1d(params))
@@ -95,16 +99,21 @@ class PostAnsatzCache:
         while len(self._order) >= self.max_entries:
             evicted = self._order.pop(0)
             old = self._store.pop(evicted)
+            self.total_bytes -= old.nbytes
             if self._on_device.pop(evicted, False):
                 self.device_bytes_used -= old.nbytes
         fits = self.device_bytes_used + state.nbytes <= self.device_capacity_bytes
         self._store[key] = state
         self._on_device[key] = fits
+        self.total_bytes += state.nbytes
         if fits:
             self.device_bytes_used += state.nbytes
         else:
             self.host_spills += 1  # device -> host spill at insert
         self._order.append(key)
+        if not self._mem:  # late-bound: obs may be enabled after init
+            self._mem = obs.mem_track(self, self.mem_category, 0)
+        obs.mem_resize(self._mem, self.total_bytes)
 
     def __len__(self) -> int:
         return len(self._store)

@@ -48,38 +48,80 @@ class Estimator(ABC):
     ``estimate`` thousands of times with the same-width circuit, and
     re-allocating a 2^n amplitude buffer (plus a second one inside the
     basis-rotation/sampling paths) per call was pure setup overhead.
+    The pool is byte-capped (``pool_capacity_bytes``): an estimator
+    handed many widths (scans, sweeps) evicts its least-recently-used
+    simulators instead of pinning one amplitude buffer per width
+    forever.
     """
 
     name = "abstract"
 
-    def __init__(self, timer: Optional[Timer] = None) -> None:
+    def __init__(
+        self,
+        timer: Optional[Timer] = None,
+        pool_capacity_bytes: int = 1 << 30,
+    ) -> None:
         self.evaluations = 0
         self.timer = timer
-        self._sims: dict = {}
+        self._sims: dict = {}  # insertion order == LRU order
+        self.pool_capacity_bytes = pool_capacity_bytes
+        self.pool_bytes = 0
+        self.pool_evictions = 0
+
+    def _publish_pool_gauges(self) -> None:
+        obs.gauge_set(
+            "repro_estimator_pool_size",
+            len(self._sims),
+            help="Simulators pooled per register width",
+            labels={"estimator": self.name},
+        )
+        obs.gauge_set(
+            "repro_estimator_pool_bytes",
+            float(self.pool_bytes),
+            help="Amplitude bytes held by the estimator simulator pool",
+            labels={"estimator": self.name},
+        )
 
     def _simulator(self, num_qubits: int) -> StatevectorSimulator:
         sim = self._sims.get(num_qubits)
         if sim is None:
             sim = StatevectorSimulator(num_qubits, timer=self.timer)
+            new_bytes = sim.state.nbytes
+            # LRU eviction: never evict below one simulator — the one
+            # we are about to use must stay, however large
+            while (
+                self._sims
+                and self.pool_bytes + new_bytes > self.pool_capacity_bytes
+            ):
+                lru_width = next(iter(self._sims))
+                evicted = self._sims.pop(lru_width)
+                self.pool_bytes -= evicted.state.nbytes
+                self.pool_evictions += 1
+                if obs.enabled():
+                    obs.inc(
+                        "repro_estimator_pool_evictions_total",
+                        help="Pooled simulators evicted by the byte cap",
+                        labels={"estimator": self.name},
+                    )
             self._sims[num_qubits] = sim
+            self.pool_bytes += new_bytes
             if obs.enabled():
                 obs.inc(
                     "repro_estimator_pool_misses_total",
                     help="Simulator pool misses (new simulator allocated)",
                     labels={"estimator": self.name},
                 )
-                obs.gauge_set(
-                    "repro_estimator_pool_size",
-                    len(self._sims),
-                    help="Simulators pooled per register width",
+                self._publish_pool_gauges()
+        else:
+            # refresh recency: move the hit width to the MRU end
+            self._sims.pop(num_qubits)
+            self._sims[num_qubits] = sim
+            if obs.enabled():
+                obs.inc(
+                    "repro_estimator_pool_hits_total",
+                    help="Simulator pool hits (reused pooled simulator)",
                     labels={"estimator": self.name},
                 )
-        elif obs.enabled():
-            obs.inc(
-                "repro_estimator_pool_hits_total",
-                help="Simulator pool hits (reused pooled simulator)",
-                labels={"estimator": self.name},
-            )
         return sim
 
     def estimate(self, circuit: Circuit, observable: PauliSum) -> float:
@@ -139,8 +181,12 @@ class CachingEstimator(Estimator):
 
     name = "caching"
 
-    def __init__(self, timer: Optional[Timer] = None) -> None:
-        super().__init__(timer=timer)
+    def __init__(
+        self,
+        timer: Optional[Timer] = None,
+        pool_capacity_bytes: int = 1 << 30,
+    ) -> None:
+        super().__init__(timer=timer, pool_capacity_bytes=pool_capacity_bytes)
         self.extra_gates = 0
 
     def _evaluate(self, sim: StatevectorSimulator, observable: PauliSum) -> float:
@@ -162,8 +208,9 @@ class SamplingEstimator(Estimator):
         shots_per_group: int = 4096,
         seed: int = 7,
         timer: Optional[Timer] = None,
+        pool_capacity_bytes: int = 1 << 30,
     ):
-        super().__init__(timer=timer)
+        super().__init__(timer=timer, pool_capacity_bytes=pool_capacity_bytes)
         self.shots_per_group = shots_per_group
         self.rng = np.random.default_rng(seed)
 

@@ -89,6 +89,8 @@ class DistributedStatevector:
             np.zeros(self.local_dim, dtype=np.complex128) for _ in range(num_ranks)
         ]
         self.slices[0][0] = 1.0
+        for k, s in enumerate(self.slices):
+            obs.mem_track(self, "dsv_slice", s.nbytes, rank=k)
         # layout[logical qubit] = physical position; positions >= local_qubits
         # are rank bits.
         self.layout = list(range(num_qubits))
@@ -152,9 +154,14 @@ class DistributedStatevector:
             idx = base | ((1 - b_g) << local_pos)
             buffers[k] = self.slices[k][idx].copy()
             positions[k] = idx
+        # staged send + receive half-slices live simultaneously
+        scratch = obs.mem_alloc(
+            "dsv_scratch", 2 * sum(b.nbytes for b in buffers if b is not None)
+        )
         received = self.comm.exchange(buffers, partners)
         for k in range(self.num_ranks):
             self.slices[k][positions[k]] = received[k]
+        obs.mem_free(scratch)
         self.exchanges += 1
         # update layout: logical qubits at these physical positions swap
         inv = {p: q for q, p in enumerate(self.layout)}
@@ -408,10 +415,15 @@ class DistributedStatevector:
         jloc = basis_indices(L)
         total = 0.0 + 0.0j
         for rank_xor, by_xloc in groups.items():
+            scratch = 0
             if rank_xor == 0:
                 partner_slices = self.slices
             else:
                 partners = [k ^ rank_xor for k in range(self.num_ranks)]
+                # full-state staging copy exchanged with the partners
+                scratch = obs.mem_alloc(
+                    "dsv_scratch", sum(s.nbytes for s in self.slices)
+                )
                 partner_slices = self.comm.exchange(
                     [s.copy() for s in self.slices], partners
                 )
@@ -447,6 +459,7 @@ class DistributedStatevector:
                 per_rank.append(acc)
                 if timing:
                     self.rank_compute_s[k] += time.perf_counter() - t0
+            obs.mem_free(scratch)
             total += self.comm.allreduce(per_rank)
         if abs(total.imag) > 1e-8 * max(1.0, abs(total.real)):
             raise ValueError("non-Hermitian observable")

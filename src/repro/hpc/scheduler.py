@@ -26,11 +26,17 @@ __all__ = ["Job", "Schedule", "BatchScheduler"]
 
 @dataclass
 class Job:
-    """One independent simulation job."""
+    """One independent simulation job.
+
+    ``mem_bytes`` is the capacity model's predicted peak resident
+    bytes; 0 (the default) means unknown, and byte-aware placement
+    treats the job as free.
+    """
 
     name: str
     num_qubits: int
     num_gates: int
+    mem_bytes: int = 0
 
     @classmethod
     def from_circuit(cls, name: str, circuit: Circuit) -> "Job":
@@ -51,6 +57,7 @@ class Schedule:
     makespan: float
     serial_time: float
     failed_ranks: List[int] = field(default_factory=list)
+    rank_bytes: Dict[int, int] = field(default_factory=dict)
 
     @property
     def num_survivors(self) -> int:
@@ -90,10 +97,20 @@ class BatchScheduler:
         ).total
 
     def schedule(
-        self, jobs: Sequence[Job], available_ranks: Optional[Sequence[int]] = None
+        self,
+        jobs: Sequence[Job],
+        available_ranks: Optional[Sequence[int]] = None,
+        rank_capacity_bytes: Optional[int] = None,
     ) -> Schedule:
         """LPT-schedule ``jobs`` over ``available_ranks`` (all ranks by
-        default — pass the survivors to plan around known-dead ranks)."""
+        default — pass the survivors to plan around known-dead ranks).
+
+        With ``rank_capacity_bytes`` the fill is (time, bytes)-aware:
+        byte load breaks time ties, and a rank whose accumulated
+        predicted bytes would exceed the capacity is skipped while any
+        other rank has headroom (overcommitting the least-loaded rank
+        only when none does — jobs run one at a time, so overcommit
+        costs queueing, not correctness)."""
         ranks = (
             list(range(self.num_ranks))
             if available_ranks is None
@@ -110,7 +127,10 @@ class BatchScheduler:
             serial = sum(c for c, _ in costs)
             assignments: Dict[int, List[Job]] = {k: [] for k in ranks}
             rank_times: Dict[int, float] = {k: 0.0 for k in ranks}
-            self._lpt_fill(costs, assignments, rank_times)
+            rank_bytes: Dict[int, int] = {k: 0 for k in ranks}
+            self._lpt_fill(
+                costs, assignments, rank_times, rank_bytes, rank_capacity_bytes
+            )
         makespan = max(rank_times.values()) if rank_times else 0.0
         sp.set_attribute("makespan_s", makespan)
         if obs.enabled():
@@ -129,6 +149,7 @@ class BatchScheduler:
             makespan=makespan,
             serial_time=serial,
             failed_ranks=failed,
+            rank_bytes=rank_bytes,
         )
 
     @staticmethod
@@ -154,19 +175,45 @@ class BatchScheduler:
         costs: Sequence[Tuple[float, Job]],
         assignments: Dict[int, List[Job]],
         rank_times: Dict[int, float],
+        rank_bytes: Optional[Dict[int, int]] = None,
+        rank_capacity_bytes: Optional[int] = None,
     ) -> None:
-        """LPT: longest job first onto the least-loaded rank (min-heap),
-        starting from the loads already in ``rank_times``."""
-        heap: List[Tuple[float, int]] = [
-            (rank_times[k], k) for k in sorted(assignments)
+        """(time, bytes)-aware LPT: longest job first onto the
+        least-loaded rank (min-heap over (time, bytes, rank)), starting
+        from the loads already in ``rank_times``/``rank_bytes``.  With
+        a byte capacity, ranks past it are skipped while another has
+        headroom; when none does, the least-loaded rank overcommits."""
+        if rank_bytes is None:
+            rank_bytes = {k: 0 for k in assignments}
+        heap: List[Tuple[float, int, int]] = [
+            (rank_times[k], rank_bytes.get(k, 0), k) for k in sorted(assignments)
         ]
         heapq.heapify(heap)
         for cost, job in sorted(costs, key=lambda cj: -cj[0]):
-            load, k = heapq.heappop(heap)
+            need = max(0, job.mem_bytes)
+            skipped: List[Tuple[float, int, int]] = []
+            chosen: Optional[Tuple[float, int, int]] = None
+            while heap:
+                load, nbytes, k = heapq.heappop(heap)
+                if (
+                    rank_capacity_bytes is None
+                    or need == 0
+                    or nbytes + need <= rank_capacity_bytes
+                ):
+                    chosen = (load, nbytes, k)
+                    break
+                skipped.append((load, nbytes, k))
+            if chosen is None:
+                chosen = skipped.pop(0)  # pops in heap order: least loaded
+            for entry in skipped:
+                heapq.heappush(heap, entry)
+            load, nbytes, k = chosen
             assignments[k].append(job)
             load += cost
+            nbytes += need
             rank_times[k] = load
-            heapq.heappush(heap, (load, k))
+            rank_bytes[k] = nbytes
+            heapq.heappush(heap, (load, nbytes, k))
 
     def reschedule_after_failure(
         self,
@@ -194,6 +241,9 @@ class BatchScheduler:
         rank_times = {
             k: t for k, t in schedule.rank_times.items() if k != dead_rank
         }
+        rank_bytes = {
+            k: b for k, b in schedule.rank_bytes.items() if k != dead_rank
+        }
         if not assignments:
             raise ValueError("no surviving ranks to reschedule on")
         previous = dict(rank_times)
@@ -203,7 +253,10 @@ class BatchScheduler:
             orphans=len(orphans),
         ):
             self._lpt_fill(
-                [(self.job_cost(j), j) for j in orphans], assignments, rank_times
+                [(self.job_cost(j), j) for j in orphans],
+                assignments,
+                rank_times,
+                rank_bytes,
             )
         if obs.enabled():
             obs.inc(
@@ -227,4 +280,5 @@ class BatchScheduler:
             makespan=makespan,
             serial_time=schedule.serial_time,
             failed_ranks=sorted(set(schedule.failed_ranks) | {dead_rank}),
+            rank_bytes=rank_bytes,
         )

@@ -63,6 +63,7 @@ class CompiledPauliSum:
         "diagonals",
         "gathers",
         "source_version",
+        "__weakref__",  # memory-ledger registration outlives no instance
     )
 
     def __init__(self, pauli_sum: PauliSum):
@@ -106,6 +107,7 @@ class CompiledPauliSum:
         self.x_masks: Tuple[int, ...] = tuple(masks)
         self.diagonals = diagonals
         self.gathers = gathers
+        obs.mem_track(self, "compiled_observable", self.nbytes())
         if obs.enabled():
             obs.inc(
                 "repro_compiled_obs_compiles_total",

@@ -18,7 +18,9 @@ Zero-dependency tracing + metrics + run reports for the whole stack:
   multi-window burn-rate alerting,
 * :mod:`repro.obs.flight` — the convergence flight recorder with
   stall / divergence / barren-plateau detectors,
-* :mod:`repro.obs.dashboard` — the out-of-process ``repro top`` view.
+* :mod:`repro.obs.dashboard` — the out-of-process ``repro top`` view,
+* :mod:`repro.obs.memory` — the allocation ledger + capacity model
+  behind memory-aware admission and the RunReport memory section.
 
 The module-level helpers below are the *instrumentation API* the hot
 paths use.  They route to one process-global tracer/registry behind a
@@ -40,6 +42,7 @@ Typical use::
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.obs.bench import BenchDiff, BenchEntry, BenchReport, compare
@@ -53,6 +56,10 @@ from repro.obs.events import (
 )
 from repro.obs.events import emit as emit_event
 from repro.obs.flight import FlightConfig, FlightRecorder, FlightSample
+from repro.obs.memory import (
+    MemoryLedger,
+    estimate_statevector_job_bytes,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -107,6 +114,13 @@ __all__ = [
     "FlightSample",
     "FlightRecorder",
     "Dashboard",
+    "MemoryLedger",
+    "estimate_statevector_job_bytes",
+    "get_memory_ledger",
+    "mem_alloc",
+    "mem_free",
+    "mem_resize",
+    "mem_track",
     "configure",
     "enable",
     "disable",
@@ -122,6 +136,10 @@ __all__ = [
 _ENABLED = False
 _TRACER = Tracer(enabled=False)
 _REGISTRY = MetricsRegistry()
+# The allocation ledger is a process-lifetime singleton: buffer owners
+# (simulators, compiled observables, caches) hold handles into it, so it
+# is never replaced — ``reset()`` rebases its watermarks instead.
+_MEMORY = MemoryLedger(gauge_hook=lambda *a, **k: gauge_set(*a, **k))
 
 
 def configure(
@@ -208,12 +226,53 @@ def gauge_set(name: str, value: float, help: str = "", labels: Optional[Dict[str
     _REGISTRY.gauge(name, help=help, labels=labels).set(value)
 
 
+def get_memory_ledger() -> MemoryLedger:
+    return _MEMORY
+
+
+def mem_alloc(category: str, nbytes: int, rank: Optional[int] = None) -> int:
+    """Register a buffer with the memory ledger, attributed to the
+    innermost open span.  Returns a handle for :func:`mem_free` /
+    :func:`mem_resize`; returns the no-op handle 0 when disabled."""
+    if not _ENABLED:
+        return 0
+    return _MEMORY.alloc(category, nbytes, rank=rank, span=_TRACER.current_span_name())
+
+
+def mem_free(handle: int) -> None:
+    """Release a ledger handle.  Deliberately *not* gated on the enabled
+    flag: an owner allocated while enabled may be garbage-collected
+    after a ``disable()``, and its bytes must still leave the ledger.
+    Handle 0 (and any unknown handle) is a no-op."""
+    _MEMORY.free(handle)
+
+
+def mem_resize(handle: int, nbytes: int) -> None:
+    """Adjust a registered buffer's size (no-op for handle 0)."""
+    _MEMORY.resize(handle, nbytes)
+
+
+def mem_track(obj: Any, category: str, nbytes: int, rank: Optional[int] = None) -> int:
+    """Register a buffer whose lifetime follows ``obj``: the ledger
+    entry is freed automatically when ``obj`` is garbage-collected.
+    For owners with explicit close/replace points, prefer
+    :func:`mem_alloc` + :func:`mem_free`."""
+    if not _ENABLED:
+        return 0
+    handle = mem_alloc(category, nbytes, rank=rank)
+    weakref.finalize(obj, _MEMORY.free, handle)
+    return handle
+
+
 def collect_report(**kwargs: Any) -> RunReport:
     """Build a :class:`RunReport` from the global tracer/registry."""
-    return RunReport.collect(tracer=_TRACER, registry=_REGISTRY, **kwargs)
+    return RunReport.collect(tracer=_TRACER, registry=_REGISTRY, memory=_MEMORY, **kwargs)
 
 
 def reset() -> None:
-    """Clear recorded spans and metrics (keeps the enabled flag)."""
+    """Clear recorded spans and metrics (keeps the enabled flag).
+    The memory ledger rebases: still-live buffers stay accounted, the
+    watermarks restart from the current live level."""
     _TRACER.reset()
     _REGISTRY.reset()
+    _MEMORY.reset()

@@ -18,8 +18,11 @@ A BENCH file records:
 The comparator flags a regression when a benchmark's wall time grows
 beyond ``threshold`` times the old value *and* the benchmark is slow
 enough to measure (``min_wall_s``) — sub-millisecond tests are pure
-noise across machines.  Missing and new benchmarks are reported but
-are not regressions.
+noise across machines.  Peak ledger bytes (when both files carry them)
+are gated the same way: growth beyond ``mem_threshold`` above a
+``min_bytes`` floor is a memory regression, because an accidental
+extra statevector copy is as real a regression as a slow kernel.
+Missing and new benchmarks are reported but are not regressions.
 
 Like every ``repro.obs`` module this is a leaf: standard library only.
 """
@@ -33,7 +36,7 @@ import socket
 import subprocess
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
@@ -42,6 +45,7 @@ __all__ = [
     "BenchDiff",
     "machine_info",
     "compare",
+    "counter_deltas",
 ]
 
 BENCH_SCHEMA_VERSION = 1
@@ -58,6 +62,8 @@ KEY_COUNTER_PREFIXES = (
     "repro_compiled_",
     "repro_estimator_",
     "repro_plan_",
+    "repro_cache_",
+    "repro_memory_",
 )
 
 
@@ -90,6 +96,7 @@ class BenchEntry:
     wall_s: float
     ok: bool = True
     sim_s: Optional[float] = None  # simulated seconds, when the run advanced a clock
+    peak_bytes: Optional[int] = None  # ledger peak delta during the benchmark
     counters: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -101,6 +108,8 @@ class BenchEntry:
         }
         if self.sim_s is not None:
             out["sim_s"] = self.sim_s
+        if self.peak_bytes is not None:
+            out["peak_bytes"] = self.peak_bytes
         return out
 
     @classmethod
@@ -110,6 +119,9 @@ class BenchEntry:
             wall_s=float(d["wall_s"]),
             ok=bool(d.get("ok", True)),
             sim_s=(None if d.get("sim_s") is None else float(d["sim_s"])),
+            peak_bytes=(
+                None if d.get("peak_bytes") is None else int(d["peak_bytes"])
+            ),
             counters={str(k): float(v) for k, v in d.get("counters", {}).items()},
         )
 
@@ -183,6 +195,10 @@ class BenchDelta:
     ratio: float
     regressed: bool
     below_floor: bool  # too fast to judge on either side
+    old_peak_bytes: Optional[int] = None
+    new_peak_bytes: Optional[int] = None
+    mem_ratio: Optional[float] = None  # None: not measured on both sides
+    mem_regressed: bool = False
 
     @property
     def improved(self) -> bool:
@@ -202,7 +218,7 @@ class BenchDiff:
 
     @property
     def regressions(self) -> List[BenchDelta]:
-        return [d for d in self.deltas if d.regressed]
+        return [d for d in self.deltas if d.regressed or d.mem_regressed]
 
     @property
     def has_regressions(self) -> bool:
@@ -220,6 +236,11 @@ class BenchDiff:
             flag = "  REGRESSED" if d.regressed else (
                 "  (below floor)" if d.below_floor else ""
             )
+            if d.mem_regressed:
+                flag += (
+                    f"  MEM REGRESSED ({d.old_peak_bytes} -> "
+                    f"{d.new_peak_bytes} peak bytes, {d.mem_ratio:.2f}x)"
+                )
             lines.append(
                 f"  {d.name:<58} {d.old_wall_s:>9.4f} {d.new_wall_s:>9.4f} "
                 f"{d.ratio:>6.2f}x{flag}"
@@ -251,6 +272,10 @@ class BenchDiff:
                     "ratio": d.ratio,
                     "regressed": d.regressed,
                     "below_floor": d.below_floor,
+                    "old_peak_bytes": d.old_peak_bytes,
+                    "new_peak_bytes": d.new_peak_bytes,
+                    "mem_ratio": d.mem_ratio,
+                    "mem_regressed": d.mem_regressed,
                 }
                 for d in self.deltas
             ],
@@ -265,15 +290,25 @@ def compare(
     new: BenchReport,
     threshold: float = 1.25,
     min_wall_s: float = 0.05,
+    mem_threshold: Optional[float] = None,
+    min_bytes: int = 1 << 20,
 ) -> BenchDiff:
     """Diff two BENCH reports.
 
     A benchmark regresses when ``new_wall > threshold * old_wall`` and
-    at least one side is above ``min_wall_s``.  Files from different
-    modes (smoke vs full) are not comparable.
+    at least one side is above ``min_wall_s``.  When both files carry
+    ``peak_bytes``, memory regresses when the peak grows beyond
+    ``mem_threshold`` (defaults to ``threshold``) with at least one
+    side above ``min_bytes`` — tiny allocations are noise, an extra
+    statevector copy is not.  Files from different modes (smoke vs
+    full) are not comparable.
     """
     if threshold <= 1.0:
         raise ValueError("threshold must be > 1.0")
+    if mem_threshold is None:
+        mem_threshold = threshold
+    if mem_threshold <= 1.0:
+        raise ValueError("mem_threshold must be > 1.0")
     if old.mode != new.mode:
         raise ValueError(
             f"cannot compare {old.mode!r} against {new.mode!r} BENCH files"
@@ -297,6 +332,16 @@ def compare(
         ratio = (
             new_entry.wall_s / old_entry.wall_s if old_entry.wall_s > 0 else 1.0
         )
+        mem_ratio: Optional[float] = None
+        mem_regressed = False
+        if old_entry.peak_bytes is not None and new_entry.peak_bytes is not None:
+            mem_below = max(old_entry.peak_bytes, new_entry.peak_bytes) < min_bytes
+            mem_ratio = (
+                new_entry.peak_bytes / old_entry.peak_bytes
+                if old_entry.peak_bytes > 0
+                else 1.0
+            )
+            mem_regressed = not mem_below and mem_ratio > mem_threshold
         diff.deltas.append(
             BenchDelta(
                 name=old_entry.name,
@@ -305,6 +350,35 @@ def compare(
                 ratio=ratio,
                 regressed=(not below and ratio > threshold),
                 below_floor=below,
+                old_peak_bytes=old_entry.peak_bytes,
+                new_peak_bytes=new_entry.peak_bytes,
+                mem_ratio=mem_ratio,
+                mem_regressed=mem_regressed,
             )
         )
     return diff
+
+
+def counter_deltas(
+    old_entry: BenchEntry, new_entry: BenchEntry, top_k: int = 5
+) -> List[Tuple[str, float, float]]:
+    """Top-``top_k`` counter movements between two runs of a benchmark,
+    sorted by relative change — the ``bench-diff --explain`` payload:
+    when a regression flags, the counters that moved most are usually
+    the why (2x gathers applied, 2x bytes exchanged, ...)."""
+
+    def rel(old_v: float, new_v: float) -> float:
+        if old_v == 0.0 and new_v == 0.0:
+            return 0.0
+        if old_v == 0.0:
+            return float("inf")
+        return abs(new_v - old_v) / abs(old_v)
+
+    names = set(old_entry.counters) | set(new_entry.counters)
+    rows = [
+        (name, old_entry.counters.get(name, 0.0), new_entry.counters.get(name, 0.0))
+        for name in names
+    ]
+    rows = [r for r in rows if r[1] != r[2]]
+    rows.sort(key=lambda r: (-rel(r[1], r[2]), r[0]))
+    return rows[:top_k]

@@ -112,16 +112,25 @@ class Dashboard:
         # job-table flight column from status.json too (server mirrors
         # the recorder's verdict there), events win when present
         tenants: Dict[str, Dict[str, int]] = {}
+        tenant_bytes: Dict[str, int] = {}
         for job in jobs:
-            t = tenants.setdefault(str(job.get("tenant", "?")), {})
+            tenant = str(job.get("tenant", "?"))
+            t = tenants.setdefault(tenant, {})
             state = str(job.get("state", "?"))
             t[state] = t.get(state, 0) + 1
+            if state in ("queued", "running"):
+                # live predicted footprint per tenant (capacity model)
+                tenant_bytes[tenant] = tenant_bytes.get(tenant, 0) + int(
+                    job.get("est_bytes", 0) or 0
+                )
 
         return {
             "state_dir": self.state_dir,
             "at": now if now is not None else time.time(),
             "health": health,
             "tenants": tenants,
+            "tenant_bytes": tenant_bytes,
+            "memory": health.get("memory", {}),
             "jobs": jobs,
             "slo": slo.to_dict(),
             "alerts": [a.to_dict() for a in slo.alerts],
@@ -171,6 +180,18 @@ class Dashboard:
                 "jobs:  "
                 + "  ".join(f"{k}={v}" for k, v in sorted(by_state.items()))
             )
+        mem = snap.get("memory") or {}
+        if mem:
+            from repro.obs.report import format_bytes
+
+            lines.append(
+                "memory: queued "
+                f"{format_bytes(mem.get('queued_est_bytes', 0))}"
+                f" + running {format_bytes(mem.get('running_est_bytes', 0))}"
+                f" of pool {format_bytes(mem.get('fleet_capacity_bytes', 0))}"
+                f"   ledger live {format_bytes(mem.get('ledger_live_bytes', 0))}"
+                f" peak {format_bytes(mem.get('ledger_peak_bytes', 0))}"
+            )
         # per-tenant table with SLO columns
         slo_tenants = snap["slo"].get("tenants", {})
         tenant_names = sorted(set(snap["tenants"]) | set(slo_tenants) - {FLEET})
@@ -178,8 +199,11 @@ class Dashboard:
             lines.append("")
             lines.append(
                 f"{'tenant':12s} {'queued':>6} {'running':>7} {'done':>5} "
+                f"{'mem':>9} "
                 f"{'qlat p95':>9} {'hit%':>6} {'shed%':>6} {'alerts':>6}"
             )
+            from repro.obs.report import format_bytes as _fb
+
             for name in tenant_names:
                 counts = snap["tenants"].get(name, {})
                 slis = slo_tenants.get(name, {})
@@ -196,9 +220,11 @@ class Dashboard:
                 )
                 hit = dh.get("ratio")
                 shed = sr.get("rate")
+                live_bytes = snap.get("tenant_bytes", {}).get(name, 0)
                 lines.append(
                     f"{name[:12]:12s} {counts.get('queued', 0):>6} "
                     f"{counts.get('running', 0):>7} {done:>5} "
+                    f"{(_fb(live_bytes) if live_bytes else '-'):>9} "
                     f"{_fmt(ql.get('p95')):>9} "
                     f"{_fmt(hit * 100 if hit is not None else None, 4):>6} "
                     f"{_fmt(shed * 100 if shed is not None else None, 3):>6} "

@@ -50,6 +50,8 @@ RANK_COMPUTE_COUNTER = "repro_rank_compute_seconds_total"
 RANK_COMM_COUNTER = "repro_rank_comm_seconds_total"
 # Simulated-schedule busy time per rank (LPT scheduler / ensemble).
 RANK_SCHED_BUSY_COUNTER = "repro_sched_rank_busy_sim_seconds_total"
+# Peak ledger bytes per rank (repro.obs.memory mirrors this gauge).
+RANK_MEMORY_GAUGE = "repro_rank_memory_peak_bytes"
 
 
 # -- per-rank timelines -------------------------------------------------------
@@ -407,16 +409,21 @@ class PerfAnalysis:
     # simulated-schedule busy seconds per rank (LPT scheduler), kept
     # apart from the wall-clock timelines: different currency
     sched_busy_sim_s: Dict[int, float] = field(default_factory=dict)
+    # peak ledger bytes per rank (third currency: memory)
+    rank_memory_bytes: Dict[int, float] = field(default_factory=dict)
 
     @property
     def has_rank_data(self) -> bool:
-        return bool(self.timelines or self.sched_busy_sim_s)
+        return bool(
+            self.timelines or self.sched_busy_sim_s or self.rank_memory_bytes
+        )
 
     @property
     def is_empty(self) -> bool:
         return not (
             self.timelines
             or self.sched_busy_sim_s
+            or self.rank_memory_bytes
             or self.comm_matrix.num_ranks
             or self.path.entries
         )
@@ -461,6 +468,9 @@ class PerfAnalysis:
             path=critical_path(spans, top_k=top_k),
             sched_busy_sim_s=_rank_seconds_from_metrics(
                 metrics, RANK_SCHED_BUSY_COUNTER
+            ),
+            rank_memory_bytes=_rank_seconds_from_metrics(
+                metrics, RANK_MEMORY_GAUGE
             ),
         )
 
@@ -513,6 +523,9 @@ class PerfAnalysis:
             "sched_busy_sim_s": {
                 str(k): v for k, v in sorted(self.sched_busy_sim_s.items())
             },
+            "rank_memory_bytes": {
+                str(k): v for k, v in sorted(self.rank_memory_bytes.items())
+            },
         }
 
     @classmethod
@@ -525,6 +538,10 @@ class PerfAnalysis:
             sched_busy_sim_s={
                 int(k): float(v)
                 for k, v in d.get("sched_busy_sim_s", {}).items()
+            },
+            rank_memory_bytes={
+                int(k): float(v)
+                for k, v in d.get("rank_memory_bytes", {}).items()
             },
         )
 
@@ -555,6 +572,16 @@ class PerfAnalysis:
             for k, busy in sorted(self.sched_busy_sim_s.items()):
                 bar = "#" * int(30 * busy / makespan) if makespan > 0 else ""
                 lines.append(f"  rank {k:>3} {busy:>12.6f}  {bar}")
+        if self.rank_memory_bytes:
+            from repro.obs.report import format_bytes  # sibling leaf module
+
+            lines.append("-- per-rank memory (peak ledger bytes) --")
+            peak = max(self.rank_memory_bytes.values(), default=0.0)
+            for k, nbytes in sorted(self.rank_memory_bytes.items()):
+                bar = "#" * int(30 * nbytes / peak) if peak > 0 else ""
+                lines.append(
+                    f"  rank {k:>3} {format_bytes(nbytes):>12}  {bar}"
+                )
         if self.comm_matrix.num_ranks:
             m = self.comm_matrix
             lines.append(

@@ -25,8 +25,9 @@ a leaf dependency every other layer may import.
 
 Version history: v1 had no ``perf`` section; v2 added it; v3 added the
 ``flight`` section (convergence flight-recorder verdicts and samples,
-:mod:`repro.obs.flight`).  Loading an older payload yields the newer
-sections empty.
+:mod:`repro.obs.flight`); v4 added the ``memory`` section (allocation-
+ledger watermarks, :mod:`repro.obs.memory`).  Loading an older payload
+yields the newer sections empty.
 """
 
 from __future__ import annotations
@@ -38,10 +39,10 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-__all__ = ["RunReport", "as_plain_dict"]
+__all__ = ["RunReport", "as_plain_dict", "format_bytes"]
 
-REPORT_VERSION = 3
-_READABLE_VERSIONS = (1, 2, 3)
+REPORT_VERSION = 4
+_READABLE_VERSIONS = (1, 2, 3, 4)
 
 
 def as_plain_dict(obj: Any) -> Dict[str, Any]:
@@ -70,6 +71,16 @@ def as_plain_dict(obj: Any) -> Dict[str, Any]:
     return out
 
 
+def format_bytes(n: float) -> str:
+    """Human-readable byte count (binary units)."""
+    n = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(n) < 1024.0 or unit == "TiB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024.0
+    return f"{n:.1f}TiB"
+
+
 def _jsonable(v: Any) -> Any:
     if isinstance(v, (int, float, str, bool)) or v is None:
         return v
@@ -92,6 +103,7 @@ class RunReport:
     faults: Dict[str, Any] = field(default_factory=dict)
     perf: Dict[str, Any] = field(default_factory=dict)
     flight: Dict[str, Any] = field(default_factory=dict)
+    memory: Dict[str, Any] = field(default_factory=dict)
     convergence: Dict[str, List[float]] = field(default_factory=dict)
     wall_time_s: Optional[float] = None
     created_unix: float = 0.0
@@ -110,6 +122,7 @@ class RunReport:
         fault_ledger: Optional[object] = None,
         convergence: Optional[Dict[str, List[float]]] = None,
         flight: Optional[Dict[str, Any]] = None,
+        memory: Optional[object] = None,
         wall_time_s: Optional[float] = None,
     ) -> "RunReport":
         """Build a report from live objects.  ``tracer``/``registry``
@@ -137,6 +150,15 @@ class RunReport:
             metrics=registry.snapshot(),
             comm=as_plain_dict(comm_stats),
         )
+        if memory is None:
+            from repro import obs
+
+            memory = obs.get_memory_ledger()
+        mem_payload: Dict[str, Any] = (
+            memory.to_dict() if hasattr(memory, "to_dict") else dict(memory)
+        )
+        if not mem_payload.get("allocs_total") and not mem_payload.get("peak_bytes"):
+            mem_payload = {}  # ledger never saw an allocation: omit the section
         return cls(
             meta=dict(meta or {}),
             spans=spans,
@@ -146,6 +168,7 @@ class RunReport:
             faults=as_plain_dict(fault_ledger),
             perf={} if analysis.is_empty else analysis.to_dict(),
             flight=dict(flight or {}),
+            memory=mem_payload,
             convergence={
                 k: [float(x) for x in v] for k, v in (convergence or {}).items()
             },
@@ -168,6 +191,7 @@ class RunReport:
             "faults": _jsonable(self.faults),
             "perf": _jsonable(self.perf),
             "flight": _jsonable(self.flight),
+            "memory": _jsonable(self.memory),
             "convergence": _jsonable(self.convergence),
         }
 
@@ -194,6 +218,7 @@ class RunReport:
             faults=dict(payload.get("faults", {})),
             perf=dict(payload.get("perf", {})),
             flight=dict(payload.get("flight", {})),
+            memory=dict(payload.get("memory", {})),
             convergence={
                 k: list(v) for k, v in payload.get("convergence", {}).items()
             },
@@ -208,6 +233,39 @@ class RunReport:
             return cls.from_dict(json.load(fh))
 
     # -- presentation -------------------------------------------------------
+
+    def memory_summary(self) -> str:
+        """Render the memory section alone (also used by
+        ``repro analyze --memory``)."""
+        mem = self.memory
+        if not mem:
+            return "-- memory --\n  (no allocations recorded)"
+        lines = ["-- memory --"]
+        lines.append(
+            f"  {'peak_bytes':22s} {format_bytes(mem.get('peak_bytes', 0)):>10s}"
+            f"   live={format_bytes(mem.get('live_bytes', 0))}"
+            f"   buffers={mem.get('tracked_buffers', 0)}"
+        )
+        peaks = mem.get("peak_by_category", {})
+        for cat in sorted(peaks, key=lambda c: -peaks[c]):
+            live = mem.get("live_by_category", {}).get(cat, 0)
+            lines.append(
+                f"    {cat:20s} peak={format_bytes(peaks[cat]):>10s}"
+                f"  live={format_bytes(live):>10s}"
+            )
+        rank_peaks = mem.get("peak_by_rank", {})
+        if rank_peaks:
+            cells = "  ".join(
+                f"r{r}={format_bytes(rank_peaks[r])}"
+                for r in sorted(rank_peaks, key=lambda x: int(x))
+            )
+            lines.append(f"  {'peak_by_rank':22s} {cells}")
+        top = mem.get("top_spans", {})
+        if top:
+            lines.append("  top allocating spans:")
+            for name, nbytes in list(top.items())[:8]:
+                lines.append(f"    {name:30s} {format_bytes(nbytes):>10s}")
+        return "\n".join(lines)
 
     def summary(self) -> str:
         """Human-readable multi-section report."""
@@ -236,6 +294,8 @@ class RunReport:
             for key in ("num_samples", "best_energy", "verdict_at"):
                 if self.flight.get(key) is not None:
                     lines.append(f"  {key:22s} {self.flight[key]}")
+        if self.memory:
+            lines.append(self.memory_summary())
         if self.convergence:
             lines.append("-- convergence --")
             for name, values in sorted(self.convergence.items()):

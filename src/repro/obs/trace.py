@@ -192,6 +192,14 @@ class Tracer:
                 )
             )
 
+    def current_span_name(self) -> str:
+        """Name of the innermost open span on this thread ("" at root).
+        Used by the memory ledger to attribute allocations to spans."""
+        stack = getattr(self._local, "stack", None)
+        if not stack:
+            return ""
+        return stack[-1].name
+
     # -- views --------------------------------------------------------------
 
     def totals(self) -> Dict[str, Tuple[float, int]]:

@@ -17,6 +17,12 @@ control keeps every queue bounded and every rejection explicit:
 * **Circuit breakers** — job classes that keep failing are rejected
   fast for a cooldown (:class:`repro.utils.retry.CircuitBreaker`)
   instead of burning scheduler slots on doomed work.
+* **Memory-aware admission** — a job whose predicted peak bytes
+  (``repro.serve.spec.estimate_job_memory``) cannot fit any alive
+  rank's memory budget is rejected up front with a ``memory: ...``
+  reason: a 34-qubit statevector job is 256 GiB of amplitudes, and
+  discovering that at dispatch time would waste a scheduler slot and
+  an operator page.
 
 Decisions are pure functions of the submitted spec plus current
 counts, so they are deterministic and unit-testable without a server.
@@ -74,10 +80,24 @@ class AdmissionController:
         total_queued: int,
         draining: bool = False,
         breaker_open: bool = False,
+        job_bytes: Optional[int] = None,
+        rank_capacity_bytes: Optional[int] = None,
     ) -> AdmissionDecision:
-        """Admit or reject one submission given current queue depths."""
+        """Admit or reject one submission given current queue depths.
+
+        When both ``job_bytes`` (the capacity model's predicted peak)
+        and ``rank_capacity_bytes`` (the largest alive rank's memory
+        budget) are known, a job that cannot fit any rank is rejected
+        with a reason starting ``"memory"``.
+        """
         decision = self._decide(
-            tenant, tenant_queued, total_queued, draining, breaker_open
+            tenant,
+            tenant_queued,
+            total_queued,
+            draining,
+            breaker_open,
+            job_bytes,
+            rank_capacity_bytes,
         )
         if not decision.admitted:
             # rejections are the interesting half of the decision
@@ -98,12 +118,24 @@ class AdmissionController:
         total_queued: int,
         draining: bool,
         breaker_open: bool,
+        job_bytes: Optional[int] = None,
+        rank_capacity_bytes: Optional[int] = None,
     ) -> AdmissionDecision:
         if draining:
             return AdmissionDecision(False, "server is draining; not accepting work")
         if breaker_open:
             return AdmissionDecision(
                 False, "circuit breaker open for this job class; retry after cooldown"
+            )
+        if (
+            job_bytes is not None
+            and rank_capacity_bytes is not None
+            and job_bytes > rank_capacity_bytes
+        ):
+            return AdmissionDecision(
+                False,
+                f"memory: job needs ~{job_bytes} bytes but the largest "
+                f"alive rank offers {rank_capacity_bytes}; will never fit",
             )
         if total_queued >= self.global_queue_limit:
             return AdmissionDecision(

@@ -56,15 +56,18 @@ from repro.hpc.faults import FaultInjector, FaultSpec
 from repro.hpc.scheduler import BatchScheduler, Job
 from repro.serve.admission import AdmissionController, TenantPolicy
 from repro.serve.journal import Journal, JournalRecord
-from repro.serve.spec import TERMINAL_STATES, JobSpec, JobState, SpecError
+from repro.serve.spec import (
+    TERMINAL_STATES,
+    JobSpec,
+    JobState,
+    SpecError,
+    estimate_job_memory,
+    qubits_for_molecule,
+)
 from repro.serve.store import ContentStore, ProblemCache
 from repro.utils.retry import CircuitBreaker, RetryBudget, RetryPolicy
 
 __all__ = ["ServerConfig", "JobRecord", "CampaignServer", "load_state_view"]
-
-# rough per-family qubit widths for admission-time cost estimates (the
-# real width is known only after the chemistry stage builds)
-_QUBITS_BY_MOLECULE = {"h2": 4, "h4": 8, "lih": 12, "h2o": 14}
 
 
 @dataclass
@@ -94,6 +97,15 @@ class ServerConfig:
     clock: Any = None  # Callable[[], float]; default time.monotonic
     event_log_max_bytes: int = 4_000_000
     metrics_snapshot_period: int = 5  # ticks between metrics.jsonl writes
+    # memory budget of one worker rank; jobs whose predicted peak
+    # (repro.serve.spec.estimate_job_memory) exceeds it are rejected at
+    # admission — they could never run anywhere in the fleet
+    rank_memory_bytes: int = 16 << 30
+    # overload bound on *queued* predicted bytes: the queue may hold up
+    # to this many fleets' worth of resident memory before the server
+    # sheds by memory pressure (rank loss shrinks the pool, so losing
+    # ranks sheds memory-hungry queues even when the count bound holds)
+    memory_queue_factor: int = 4
 
 
 @dataclass
@@ -116,6 +128,7 @@ class JobRecord:
     exec_s: float = 0.0
     next_eligible: float = 0.0
     flight_verdict: Optional[str] = None
+    est_bytes: int = 0  # capacity model's predicted peak for this job
 
     @property
     def terminal(self) -> bool:
@@ -138,6 +151,7 @@ class JobRecord:
             "warm_started": self.warm_started,
             "resumed": self.resumed,
             "flight_verdict": self.flight_verdict,
+            "est_bytes": self.est_bytes,
         }
 
 
@@ -165,6 +179,10 @@ class _ServerState:
         p = rec.payload
         if rec.type in ("admitted", "rejected"):
             spec = JobSpec.from_dict(p["spec"])
+            try:
+                est_bytes = estimate_job_memory(spec)
+            except Exception:  # noqa: BLE001 — estimate is advisory
+                est_bytes = 0
             job = JobRecord(
                 job_id=p["job_id"],
                 spec=spec,
@@ -174,6 +192,7 @@ class _ServerState:
                 submitted_seq=rec.seq,
                 submission_id=p.get("submission_id"),
                 detail=p.get("reason", ""),
+                est_bytes=est_bytes,
             )
             self.jobs[job.job_id] = job
             self.order.append(job.job_id)
@@ -505,6 +524,10 @@ class CampaignServer:
         tenant_queued, _ = self._tenant_counts(spec.tenant)
         total_queued = len(self._jobs_in(JobState.QUEUED))
         breaker = self._breaker(spec.class_key())
+        try:
+            job_bytes: Optional[int] = estimate_job_memory(spec)
+        except Exception:  # noqa: BLE001 — unpriceable spec: skip the check
+            job_bytes = None
         decision = self.admission.decide(
             spec.tenant,
             tenant_queued=tenant_queued,
@@ -514,6 +537,8 @@ class CampaignServer:
             # must not flip open->half_open or consume the probe —
             # the state-transitioning allow() runs at dispatch time
             breaker_open=breaker.is_open(now),
+            job_bytes=job_bytes,
+            rank_capacity_bytes=self.config.rank_memory_bytes,
         )
         if decision.admitted:
             rec = self.journal.append(
@@ -638,7 +663,12 @@ class CampaignServer:
 
     def _shed_overload(self) -> None:
         """Degraded fleet => shrunken effective queue bound; shed the
-        lowest-priority queued jobs beyond it."""
+        lowest-priority queued jobs beyond it.  Two pressure axes:
+        *count* (the classic shrunken queue limit) and *memory* (the
+        queue's predicted resident bytes must fit
+        ``memory_queue_factor`` fleets of surviving ranks) — losing a
+        rank therefore sheds memory-hungry queues even when the job
+        count is fine."""
         alive = len(self.alive_ranks)
         if alive >= self.config.num_ranks:
             return
@@ -647,21 +677,38 @@ class CampaignServer:
             (self.config.global_queue_limit * alive) // self.config.num_ranks,
         )
         queued = self._jobs_in(JobState.QUEUED)
-        victims = self.admission.shed_victims(
+        # full shed ranking (lowest priority first, newest first within
+        # a priority); count victims are a prefix, memory pressure then
+        # extends the prefix until the survivors' bytes fit the pool
+        ranked = self.admission.shed_victims(
             queued,
-            len(queued) - effective,
+            len(queued),
             priority_of=lambda j: j.spec.priority,
             age_of=lambda j: j.submitted_seq,
         )
-        for job in victims:
-            rec = self.journal.append(
-                "shed",
-                job_id=job.job_id,
-                reason=(
+        n_count = max(0, len(queued) - effective)
+        byte_pool = (
+            alive * self.config.rank_memory_bytes * self.config.memory_queue_factor
+        )
+        survivor_bytes = sum(j.est_bytes for j in ranked[n_count:])
+        n_victims = n_count
+        while survivor_bytes > byte_pool and n_victims < len(ranked):
+            survivor_bytes -= ranked[n_victims].est_bytes
+            n_victims += 1
+        for i, job in enumerate(ranked[:n_victims]):
+            if i < n_count:
+                reason = (
                     f"overload: {len(queued)} queued > effective limit "
                     f"{effective} with {alive}/{self.config.num_ranks} ranks"
-                ),
-            )
+                )
+                short = f"overload with {alive}/{self.config.num_ranks} ranks"
+            else:
+                reason = short = (
+                    f"memory pressure: queued jobs predicted over "
+                    f"{byte_pool} bytes with {alive}/"
+                    f"{self.config.num_ranks} ranks"
+                )
+            rec = self.journal.append("shed", job_id=job.job_id, reason=reason)
             self.state.apply(rec)
             self.shed_count += 1
             self.events.emit(
@@ -669,7 +716,7 @@ class CampaignServer:
                 job_id=job.job_id,
                 tenant=job.spec.tenant,
                 priority=job.spec.priority,
-                reason=f"overload with {alive}/{self.config.num_ranks} ranks",
+                reason=short,
             )
             self._job_terminal_metrics(job)
 
@@ -678,9 +725,9 @@ class CampaignServer:
     def _estimate_job(self, job: JobRecord) -> Job:
         from repro.core.counting import uccsd_gate_count
 
-        n = _QUBITS_BY_MOLECULE.get(job.spec.molecule.lower(), 8)
+        n = qubits_for_molecule(job.spec.molecule)
         gates = uccsd_gate_count(n) * max(1, job.spec.max_iterations)
-        return Job(job.job_id, n, gates)
+        return Job(job.job_id, n, gates, mem_bytes=job.est_bytes)
 
     def _plan_placements(self) -> Dict[str, int]:
         """LPT-place dispatchable queued jobs over the surviving ranks
@@ -704,7 +751,9 @@ class CampaignServer:
         dispatchable.sort(key=lambda j: (-j.spec.priority, j.submitted_seq))
         scheduler = BatchScheduler(self.config.num_ranks, self.config.machine)
         schedule = scheduler.schedule(
-            [self._estimate_job(j) for j in dispatchable], available_ranks=alive
+            [self._estimate_job(j) for j in dispatchable],
+            available_ranks=alive,
+            rank_capacity_bytes=self.config.rank_memory_bytes,
         )
         placements: Dict[str, int] = {}
         for rank, jobs in schedule.assignments.items():
@@ -1057,6 +1106,19 @@ class CampaignServer:
             status = "degraded"
         else:
             status = "ready"
+        ledger = obs.get_memory_ledger()
+        memory = {
+            "rank_memory_bytes": self.config.rank_memory_bytes,
+            "fleet_capacity_bytes": len(alive) * self.config.rank_memory_bytes,
+            "queued_est_bytes": sum(
+                j.est_bytes for j in self._jobs_in(JobState.QUEUED)
+            ),
+            "running_est_bytes": sum(
+                j.est_bytes for j in self._jobs_in(JobState.RUNNING)
+            ),
+            "ledger_live_bytes": ledger.live_bytes,
+            "ledger_peak_bytes": ledger.peak_bytes,
+        }
         return {
             "status": status,
             "ready": bool(alive) and not self.draining,
@@ -1073,6 +1135,7 @@ class CampaignServer:
             "retry_budget_tokens": self.retry_budget.tokens,
             "journal_seq": self.state.last_seq,
             "stored_results": self.store.num_results(),
+            "memory": memory,
         }
 
     def _publish_health(self) -> None:
@@ -1101,6 +1164,22 @@ class CampaignServer:
                 "repro_serve_alive_ranks",
                 float(len(health["alive_ranks"])),
                 help="Surviving worker ranks",
+            )
+            mem = health["memory"]
+            obs.gauge_set(
+                "repro_serve_fleet_memory_bytes",
+                float(mem["fleet_capacity_bytes"]),
+                help="Memory budget of the surviving rank pool",
+            )
+            obs.gauge_set(
+                "repro_serve_queued_est_bytes",
+                float(mem["queued_est_bytes"]),
+                help="Capacity-model predicted bytes of queued jobs",
+            )
+            obs.gauge_set(
+                "repro_serve_running_est_bytes",
+                float(mem["running_est_bytes"]),
+                help="Capacity-model predicted bytes of running jobs",
             )
             # per-tenant live-state gauges; only non-terminal states are
             # interesting live, and pairs that vanished since the last

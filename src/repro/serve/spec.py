@@ -34,6 +34,8 @@ __all__ = [
     "TERMINAL_STATES",
     "JobSpec",
     "SpecError",
+    "qubits_for_molecule",
+    "estimate_job_memory",
 ]
 
 SPEC_VERSION = 1
@@ -186,6 +188,63 @@ class JobSpec:
             return cls(**payload)
         except TypeError as err:
             raise SpecError(f"malformed job spec: {err}") from err
+
+
+_QUBITS_BY_MOLECULE = {"h2": 4, "h4": 8, "lih": 12, "h2o": 14}
+# Measured compiled-observable pass counts on the serve build path
+# (STO-3G, no downfolding); drive the dominant term of the capacity
+# model (see repro.obs.memory).
+_PASSES_BY_MOLECULE = {"h2": 2, "h4": 27, "lih": 84, "h2o": 162}
+# UCCSD generator counts (== pool size) per family: each generator
+# compiles to one single-pass observable of 24 * 2^n bytes, which at
+# these widths rivals the Hamiltonian itself.  Unknown molecules use 0
+# — for the oversized-job rejection path the Hamiltonian term alone is
+# already orders of magnitude over any rank budget.
+_GENERATORS_BY_MOLECULE = {"h2": 3, "h4": 26, "lih": 92, "h2o": 140}
+
+
+def qubits_for_molecule(name: str) -> int:
+    """Register width of a molecule family on the serve build path
+    (STO-3G, no downfolding: one qubit per spin orbital).
+
+    Hydrogen chains follow the ``h<N>`` -> 2N-qubit rule (N atoms, one
+    STO-3G spatial orbital each), so capacity planning can price chains
+    the factories don't build yet — an ``h17`` submission estimates as
+    34 qubits and is rejected by memory-aware admission long before the
+    chemistry stage would reject the name.  Unknown names fall back to
+    8 qubits (the historical server default).
+    """
+    key = name.lower()
+    known = _QUBITS_BY_MOLECULE.get(key)
+    if known is not None:
+        return known
+    if key.startswith("h") and key[1:].isdigit():
+        return 2 * int(key[1:])
+    return 8
+
+
+def estimate_job_memory(spec: "JobSpec") -> int:
+    """Predicted peak resident bytes of one job (capacity model).
+
+    Wraps :func:`repro.obs.memory.estimate_statevector_job_bytes` with
+    the serve-path calibration: register width from the molecule table
+    and the measured compiled-observable pass count where known.
+    Validated against measured ledger peaks in ``tests/test_memory.py``
+    (±10% at 8–14 qubits).
+    """
+    from repro.obs.memory import estimate_statevector_job_bytes
+
+    key = spec.molecule.lower()
+    n = qubits_for_molecule(spec.molecule)
+    passes = _PASSES_BY_MOLECULE.get(key)
+    return int(
+        estimate_statevector_job_bytes(
+            n,
+            kind=spec.kind,
+            compiled_passes=passes,
+            generator_terms=_GENERATORS_BY_MOLECULE.get(key, 0),
+        )["total"]
+    )
 
 
 def resolve_molecule(name: str, geometry: Optional[float] = None):

@@ -154,6 +154,22 @@ class ProblemCache:
         self._cache: Dict[str, Dict[str, Any]] = {}
         self.builds = 0
         self.hits = 0
+        self.total_bytes = 0
+        self._mem = 0
+
+    @staticmethod
+    def _problem_bytes(problem: Dict[str, Any]) -> int:
+        """Resident bytes of one built problem: the dense reference
+        state plus the Hamiltonian's term dictionary (~96 bytes per
+        packed (mask, coeff) entry)."""
+        total = 0
+        for value in problem.values():
+            if isinstance(value, np.ndarray):
+                total += value.nbytes
+        hq = problem.get("hamiltonian")
+        if hq is not None:
+            total += 96 * getattr(hq, "num_terms", 0)
+        return total
 
     def get(self, spec: JobSpec) -> Dict[str, Any]:
         key = spec.content_key()
@@ -169,6 +185,10 @@ class ProblemCache:
         problem = self._build(spec)
         self._cache[key] = problem
         self.builds += 1
+        self.total_bytes += self._problem_bytes(problem)
+        if not self._mem:  # late-bound: obs may be enabled after init
+            self._mem = obs.mem_track(self, "problem_cache", 0)
+        obs.mem_resize(self._mem, self.total_bytes)
         if obs.enabled():
             obs.inc(
                 "repro_serve_problem_cache_builds_total",

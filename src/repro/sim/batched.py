@@ -26,6 +26,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.ir.circuit import Circuit
 from repro.ir.compiled import CompiledPauliSum, compile_observable
 from repro.ir.gates import Gate, Parameter
@@ -51,6 +52,7 @@ class BatchedStatevectorSimulator:
         self.dim = 1 << num_qubits
         self.states = np.zeros((batch_size, self.dim), dtype=np.complex128)
         self.states[:, 0] = 1.0
+        obs.mem_track(self, "batched_statevector", self.states.nbytes)
 
     def reset(self) -> None:
         self.states.fill(0)

@@ -567,6 +567,7 @@ class ExecutionPlan:
 
         self._ops = ops
         self.num_ops = len(ops)
+        obs.mem_track(self, "plan_data", self.data_bytes())
 
         # -- prefix-reuse bookkeeping ---------------------------------------
         # first op index touching each parameter
@@ -598,6 +599,7 @@ class ExecutionPlan:
             self._prefix_cache = PostAnsatzCache(
                 device_capacity_bytes=prefix_device_bytes,
                 max_entries=prefix_budget,
+                mem_category="prefix_cache",
             )
         self._last_params: Optional[np.ndarray] = None
         self.prefix_resumes = 0
@@ -641,6 +643,20 @@ class ExecutionPlan:
     def param_op_index(self, k: int) -> int:
         """First op index that depends on parameter ``k``."""
         return self.first_use[k]
+
+    def data_bytes(self) -> int:
+        """Bytes frozen into the plan's prepacked kernel data (dense
+        matrices, folded diagonals, gather tables)."""
+        total = 0
+        for op in self._ops:
+            data = op.data
+            if isinstance(data, np.ndarray):
+                total += data.nbytes
+            elif isinstance(data, (tuple, list)):
+                for item in data:
+                    if isinstance(item, np.ndarray):
+                        total += item.nbytes
+        return total
 
     def stats(self) -> Dict[str, object]:
         """Compile/execute statistics (the ``--plan-stats`` payload)."""
@@ -812,6 +828,7 @@ class ExecutionPlan:
             self._prefix_cache = PostAnsatzCache(
                 device_capacity_bytes=self._prefix_cache.device_capacity_bytes,
                 max_entries=self._prefix_cache.max_entries,
+                mem_category="prefix_cache",
             )
         self._last_params = None
 

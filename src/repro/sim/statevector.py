@@ -67,6 +67,7 @@ class StatevectorSimulator:
         self.state[0] = 1.0
         self.timer = timer
         self.gates_applied = 0
+        obs.mem_track(self, "statevector", self.state.nbytes)
 
     # -- state management ----------------------------------------------------
 
