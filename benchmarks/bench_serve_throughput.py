@@ -15,12 +15,19 @@ The table reports a cold serial baseline (every job computed from
 scratch, no sharing) against the served run, plus the journal
 overhead, so regressions in either the service plumbing or the
 sharing machinery show up as a throughput drop.
+
+``test_serve_batched_throughput`` measures the third sharing effect —
+the cross-campaign evaluation broker: N same-molecule campaigns with
+*distinct* seeds (distinct optimizations, no dedup possible) served
+batched versus ``--no-batch`` sequential ticks.  CI gates on a >= 3x
+evals/s floor for the 8-campaign point; the measured ratio lands
+around 5-7x on a quiet machine.
 """
 
 import time
 
 from _util import write_table
-from repro.serve import CampaignServer, JobSpec, ServerConfig
+from repro.serve import CampaignServer, JobSpec, JobState, ServerConfig
 
 
 def _workload():
@@ -85,3 +92,102 @@ def test_serve_throughput(benchmark, tmp_path_factory):
     assert executed == 4
     # the scan warm-starts after its first geometry converges
     assert warm >= 1
+
+
+# -- cross-campaign batched execution -----------------------------------------
+
+
+def _run_fleet(state_dir, n, batch_enabled):
+    """Serve n same-molecule distinct-seed campaigns; return
+    (wall_s, total_evals, broker_stats)."""
+    server = CampaignServer(
+        str(state_dir), ServerConfig(num_ranks=2, batch_enabled=batch_enabled)
+    )
+    specs = [
+        JobSpec(tenant=f"t{k}", kind="vqe", molecule="h2", seed=k)
+        for k in range(n)
+    ]
+    # warm the shared physics tier outside the timed window in both
+    # modes: the chemistry build is a fixed per-problem cost, not the
+    # per-campaign serving cost this benchmark measures
+    server.problems.get(specs[0])
+    for spec in specs:
+        server.submit(spec)
+    t0 = time.perf_counter()
+    server.run(stop_when_idle=True, max_ticks=400)
+    wall = time.perf_counter() - t0
+    assert all(j.state == JobState.SUCCEEDED for j in server.jobs.values())
+    evals = sum(
+        server.store.get_result(j.spec.content_key()).get("evaluations", 0)
+        for j in server.jobs.values()
+    )
+    stats = server.broker.stats() if server.broker is not None else {}
+    server.close()
+    return wall, evals, stats
+
+
+def test_serve_batched_throughput(benchmark, tmp_path_factory):
+    fleet_sizes = (1, 4, 8, 16)
+    runs = {"n": 0}
+
+    def scenario():
+        runs["n"] += 1
+        root = tmp_path_factory.mktemp(f"serve_batched_{runs['n']}")
+        out = {}
+        for n in fleet_sizes:
+            wb, eb, stats = _run_fleet(root / f"batched{n}", n, True)
+            ws, es, _ = _run_fleet(root / f"solo{n}", n, False)
+            # identical trajectories => identical evaluation counts;
+            # a mismatch means the two modes diverged
+            assert eb == es
+            out[n] = {
+                "batched_s": wb,
+                "solo_s": ws,
+                "evals": eb,
+                "batched_eps": eb / wb if wb > 0 else float("inf"),
+                "solo_eps": es / ws if ws > 0 else float("inf"),
+                "stats": stats,
+            }
+        return out
+
+    out = benchmark(scenario)
+
+    rows = []
+    for n in fleet_sizes:
+        r = out[n]
+        rows.append(
+            (
+                n,
+                f"{r['solo_s']:.3f}",
+                f"{r['batched_s']:.3f}",
+                f"{r['solo_eps']:.0f}",
+                f"{r['batched_eps']:.0f}",
+                f"{r['batched_eps'] / r['solo_eps']:.2f}x",
+                r["stats"].get("mean_occupancy", 0),
+            )
+        )
+    table = write_table(
+        "serve_batched_throughput",
+        [
+            "campaigns",
+            "solo (s)",
+            "batched (s)",
+            "solo evals/s",
+            "batched evals/s",
+            "speedup",
+            "mean occupancy",
+        ],
+        rows,
+        caption="Cross-campaign batched serving vs --no-batch sequential "
+        "ticks (same-molecule h2 campaigns, distinct seeds, 2 ranks)",
+    )
+    print("\n" + table)
+
+    eight = out[8]
+    # the broker actually batched: multi-campaign groups dominated
+    assert eight["stats"]["batched_evals"] > 0
+    assert eight["stats"]["max_occupancy"] >= 8
+    # CI floor (headline target is >= 5x on a quiet machine; 3x leaves
+    # headroom for loaded CI runners)
+    speedup = eight["batched_eps"] / eight["solo_eps"]
+    assert speedup >= 3.0, f"8-campaign batched speedup {speedup:.2f}x < 3x"

@@ -145,9 +145,14 @@ def main() -> int:
             server.kill()
             server.wait(timeout=30)
 
-    # 4. the outage doesn't stop tenants from spooling more work
+    # 4. the outage doesn't stop tenants from spooling more work —
+    # including four same-molecule campaigns with distinct seeds, which
+    # the restarted server must serve through the evaluation broker as
+    # one batch group (asserted from status.json below)
     _submit(state_dir, "bob", kind="vqe", molecule="h2", geometry="0.7")
     _submit(state_dir, "carol", kind="adapt", molecule="h2", max_iterations="2")
+    for k, tenant in enumerate(("alice", "bob", "carol", "dave")):
+        _submit(state_dir, tenant, kind="vqe", molecule="h2", seed=str(k))
 
     # 5. restart; the journal replays, in-flight campaigns resume from
     # their checkpoints, the backlog drains
@@ -172,9 +177,9 @@ def main() -> int:
     if nonterminal:
         failures.append(f"jobs stuck non-terminal: {nonterminal}")
     succeeded = [j for j in view["jobs"] if j["state"] == "succeeded"]
-    if len(succeeded) != 6:
+    if len(succeeded) != 10:
         failures.append(
-            f"expected all 6 jobs to succeed, got {view['by_state']}"
+            f"expected all 10 jobs to succeed, got {view['by_state']}"
         )
     if view["lost_ranks"] != [1]:
         failures.append(f"rank loss not durable: {view['lost_ranks']}")
@@ -252,6 +257,19 @@ def main() -> int:
                 "(per-job buffers retained past terminal state?)"
             )
 
+    # 9. the restarted server batched the in-flight same-molecule
+    # campaigns (replayed submissions join waves like fresh ones) and
+    # no completion was duplicated for them — the journal check above
+    # already covers every job, this pins that batching was live
+    batch = (view.get("health") or {}).get("batch") or {}
+    if not batch.get("enabled"):
+        failures.append(f"batching not enabled on the restarted server: {batch}")
+    elif batch.get("batched_evals", 0) <= 0:
+        failures.append(
+            "restarted server never executed a multi-campaign batch "
+            f"group despite 4 same-physics campaigns: {batch}"
+        )
+
     top = _cli("top", "--state-dir", state_dir, "--once", "--json", check=False)
     if top.returncode != 0:
         failures.append(f"repro top --once --json exited {top.returncode}")
@@ -273,6 +291,8 @@ def main() -> int:
         f"({resumed} resumed from checkpoints, rank 1 lost and stayed lost, "
         f"{len(journal)} journal records, {len(events)} events replayed "
         f"consistently, no duplicated completions, "
+        f"{batch.get('batched_evals', 0)} evaluations batched across "
+        f"campaigns, "
         f"{memory.get('ledger_live_bytes', 0)} ledger bytes live at idle)"
     )
     return 0

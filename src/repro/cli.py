@@ -642,6 +642,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_seed=args.seed,
         fsync=args.fsync,
         rank_memory_bytes=args.rank_memory_bytes,
+        batch_enabled=not args.no_batch,
+        batch_size=args.batch_size,
     )
     server = CampaignServer(args.state_dir, config)
     try:
@@ -666,6 +668,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"  dedup hits: {health['dedup_hits']}")
     if health["shed"]:
         print(f"  shed: {health['shed']}")
+    batch = health.get("batch", {})
+    if batch.get("enabled") and batch.get("groups_executed"):
+        print(
+            f"  batching: {batch['batched_evals']} batched / "
+            f"{batch['solo_evals']} solo evals in "
+            f"{batch['groups_executed']} groups "
+            f"(mean occupancy {batch['mean_occupancy']}, "
+            f"max {batch['max_occupancy']})"
+        )
     return 0
 
 
@@ -681,6 +692,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             molecule=args.molecule,
             geometry=args.geometry,
             max_iterations=args.max_iterations,
+            seed=args.seed,
             priority=args.priority,
             deadline_s=args.deadline,
             timeout_s=args.timeout,
@@ -1079,6 +1091,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument(
+        "--batch-size", type=int, default=32,
+        help="max campaigns stacked into one batched evaluation sweep",
+    )
+    p_serve.add_argument(
+        "--no-batch", action="store_true",
+        help="disable the cross-campaign evaluation broker (solo ticks)",
+    )
+    p_serve.add_argument(
         "--fsync", action="store_true",
         help="fsync every journal append (durable, slower)",
     )
@@ -1098,6 +1118,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="scan parameter (bond length / spacing, Angstrom)",
     )
     p_submit.add_argument("--max-iterations", type=int, default=8)
+    p_submit.add_argument(
+        "--seed", type=int, default=0,
+        help="determinism seed (distinct seeds = distinct campaigns "
+        "that still batch together)",
+    )
     p_submit.add_argument("--priority", type=int, default=0)
     p_submit.add_argument(
         "--deadline", type=float, default=None,

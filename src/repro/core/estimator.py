@@ -149,6 +149,23 @@ class Estimator(ABC):
         sim.run_plan(plan, params)
         return self._evaluate(sim, observable)
 
+    def estimate_plan_many(
+        self, plan, rows: np.ndarray, observable: PauliSum
+    ) -> np.ndarray:
+        """Expectations for many parameter vectors of one plan.
+
+        ``rows`` has shape (R, P); returns the R expectation values in
+        order.  The base implementation evaluates sequentially; the
+        serve-layer :class:`repro.serve.broker.BrokeredEstimator`
+        overrides this to submit all R rows atomically so a whole
+        finite-difference sweep lands in one batched-plan execution.
+        """
+        rows = np.asarray(rows, dtype=float)
+        return np.array(
+            [self.estimate_plan(plan, row, observable) for row in rows],
+            dtype=float,
+        )
+
     def _evaluate(self, sim: StatevectorSimulator, observable: PauliSum) -> float:
         """Turn the simulator's current state into an expectation value.
 

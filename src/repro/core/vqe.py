@@ -87,6 +87,8 @@ class VQE:
         evaluation_callback: Optional[Callable[[int, np.ndarray, float], None]] = None,
         timer: Optional[Timer] = None,
         flight_context: Optional[Dict[str, Any]] = None,
+        fd_gradient: bool = False,
+        fd_epsilon: float = 1e-6,
     ):
         if not hamiltonian.is_hermitian():
             raise ValueError("hamiltonian must be Hermitian")
@@ -104,6 +106,18 @@ class VQE:
         # check — the disabled-overhead contract)
         self.flight: Optional[FlightRecorder] = None
         self.flight_context = dict(flight_context or {})
+        # circuit-mode fused value+gradient: every energy() call also
+        # computes a central-difference gradient by evaluating all
+        # 2P+1 parameter rows through ONE estimate_plan_many call, and
+        # gradient() returns the cached result.  scipy's quasi-Newton
+        # optimizers request f and g at the same iterates, so the fuse
+        # costs nothing extra sequentially — and hands batch-capable
+        # estimators (the serve-layer evaluation broker) a whole sweep
+        # of compatible rows at once instead of dribbling them out.
+        self.fd_gradient = bool(fd_gradient)
+        self.fd_epsilon = float(fd_epsilon)
+        self._fd_cache_x: Optional[np.ndarray] = None
+        self._fd_cache_grad: Optional[np.ndarray] = None
         self.mode: str
         if generators is not None:
             if reference_state is None:
@@ -157,14 +171,45 @@ class VQE:
             # on mutation, so ADAPT-style growing ansaetze recompile
             # exactly when they change)
             plan = compile_circuit(self.ansatz)
+            if self.fd_gradient:
+                return self._fd_energy_and_grad(plan, params)
             return self.estimator.estimate_plan(plan, params, self.hamiltonian)
         return self.estimator.estimate(self.ansatz, self.hamiltonian)
 
+    def _fd_energy_and_grad(self, plan, params: np.ndarray) -> float:
+        """One fused sweep: value at ``params`` plus central differences
+        along every coordinate, all through ``estimate_plan_many``."""
+        p = self.num_parameters
+        eps = self.fd_epsilon
+        rows = np.tile(params, (2 * p + 1, 1))
+        for k in range(p):
+            rows[1 + 2 * k, k] += eps
+            rows[2 + 2 * k, k] -= eps
+        vals = np.asarray(
+            self.estimator.estimate_plan_many(plan, rows, self.hamiltonian),
+            dtype=float,
+        )
+        self._fd_cache_x = params.copy()
+        self._fd_cache_grad = (vals[1::2] - vals[2::2]) / (2.0 * eps)
+        return float(vals[0])
+
     def gradient(self, params: np.ndarray) -> Optional[np.ndarray]:
-        """Analytic gradient (chemistry mode only)."""
-        if self.mode != "chemistry":
+        """Analytic gradient (chemistry mode) or the cached fused
+        finite-difference gradient (circuit mode with ``fd_gradient``);
+        ``None`` for plain circuit mode."""
+        params = np.atleast_1d(np.asarray(params, dtype=float))
+        if self.mode == "chemistry":
+            return self.objective.gradient(params)
+        if not self.fd_gradient:
             return None
-        return self.objective.gradient(np.atleast_1d(np.asarray(params, dtype=float)))
+        if self._fd_cache_x is not None and np.array_equal(
+            params, self._fd_cache_x
+        ):
+            return self._fd_cache_grad.copy()
+        # optimizer asked for a gradient at a point it never evaluated:
+        # run the fused evaluation (fills the cache) and answer from it
+        self.energy(params)
+        return self._fd_cache_grad.copy()
 
     def run(self, initial_parameters: Optional[np.ndarray] = None) -> VQEResult:
         """Optimize to the minimum energy (§3.1 step 5)."""
@@ -216,7 +261,10 @@ class VQE:
                 converged=True,
                 mode=self.mode,
             )
-        grad = self.gradient if self.mode == "chemistry" else None
+        use_grad = self.mode == "chemistry" or (
+            self.mode == "circuit" and self.fd_gradient
+        )
+        grad = self.gradient if use_grad else None
         res: OptimizeResult = self.optimizer.minimize(self.energy, x0, gradient=grad)
         return VQEResult(
             energy=res.fun,

@@ -131,6 +131,7 @@ class Dashboard:
             "tenants": tenants,
             "tenant_bytes": tenant_bytes,
             "memory": health.get("memory", {}),
+            "batch": health.get("batch", {}),
             "jobs": jobs,
             "slo": slo.to_dict(),
             "alerts": [a.to_dict() for a in slo.alerts],
@@ -192,6 +193,20 @@ class Dashboard:
                 f"   ledger live {format_bytes(mem.get('ledger_live_bytes', 0))}"
                 f" peak {format_bytes(mem.get('ledger_peak_bytes', 0))}"
             )
+        batch = snap.get("batch") or {}
+        if batch.get("enabled"):
+            lines.append(
+                "batch:  "
+                f"waves={batch.get('waves', 0)}"
+                f" groups={batch.get('groups_executed', 0)}"
+                f" batched={batch.get('batched_evals', 0)}"
+                f" solo={batch.get('solo_evals', 0)}"
+                f"   occupancy mean/max "
+                f"{batch.get('mean_occupancy', 0)}/"
+                f"{batch.get('max_occupancy', 0)}"
+            )
+        elif batch:
+            lines.append("batch:  disabled (--no-batch)")
         # per-tenant table with SLO columns
         slo_tenants = snap["slo"].get("tenants", {})
         tenant_names = sorted(set(snap["tenants"]) | set(slo_tenants) - {FLEET})

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
@@ -199,6 +200,9 @@ class EventBus:
         self.wall_clock = wall_clock
         self._subscribers: List[Callable[[Event], None]] = []
         self._fh = None
+        # campaigns running in broker worker threads emit concurrently;
+        # the lock keeps seq strictly increasing and lines un-torn
+        self._lock = threading.Lock()
         self.seq = 0
         self.emitted = 0
         if path is not None:
@@ -211,22 +215,24 @@ class EventBus:
 
     def emit(self, type: str, **attrs: Any) -> Event:
         """Append one event (and fan it out to subscribers)."""
-        self.seq += 1
-        self.emitted += 1
-        event = Event(
-            seq=self.seq,
-            type=type,
-            t_wall=self.wall_clock(),
-            t_sim=(
-                float(self.sim_clock.now) if self.sim_clock is not None else None
-            ),
-            attrs={k: v for k, v in attrs.items() if v is not None},
-        )
-        if self._fh is not None:
-            self._fh.write(json.dumps(event.to_dict()) + "\n")
-            self._fh.flush()
-            self._maybe_rotate()
-        for fn in list(self._subscribers):
+        with self._lock:
+            self.seq += 1
+            self.emitted += 1
+            event = Event(
+                seq=self.seq,
+                type=type,
+                t_wall=self.wall_clock(),
+                t_sim=(
+                    float(self.sim_clock.now) if self.sim_clock is not None else None
+                ),
+                attrs={k: v for k, v in attrs.items() if v is not None},
+            )
+            if self._fh is not None:
+                self._fh.write(json.dumps(event.to_dict()) + "\n")
+                self._fh.flush()
+                self._maybe_rotate()
+            subscribers = list(self._subscribers)
+        for fn in subscribers:
             fn(event)
         return event
 

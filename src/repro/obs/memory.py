@@ -36,6 +36,7 @@ from typing import Any, Callable, Dict, Optional
 __all__ = [
     "MemoryLedger",
     "estimate_statevector_job_bytes",
+    "estimate_batched_group_bytes",
     "observable_bytes",
     "estimate_compiled_passes",
     "AMPLITUDE_BYTES",
@@ -354,3 +355,30 @@ def estimate_statevector_job_bytes(
     }
     breakdown["total"] = sum(breakdown.values())
     return breakdown
+
+
+def estimate_batched_group_bytes(
+    num_qubits: int,
+    group_size: int,
+    kind: str = "vqe",
+    compiled_passes: Optional[int] = None,
+    generator_terms: int = 0,
+) -> int:
+    """Peak bytes of a batch group of ``group_size`` same-physics jobs
+    executing through the evaluation broker.
+
+    The group shares ONE compiled observable, one plan, and one
+    Hamiltonian (that is the point of physics-keyed sharing), so only
+    the amplitude block scales with the group: the (B, 2^n) batched
+    statevector plus the stacked parameter rows and result buffers
+    (negligible next to amplitudes).  Priced as one job's total plus
+    ``group_size - 1`` extra amplitude vectors.
+    """
+    single = estimate_statevector_job_bytes(
+        num_qubits,
+        kind=kind,
+        compiled_passes=compiled_passes,
+        generator_terms=generator_terms,
+    )["total"]
+    extra = max(0, group_size - 1) * AMPLITUDE_BYTES * (1 << num_qubits)
+    return int(single + extra)

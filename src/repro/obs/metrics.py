@@ -22,7 +22,16 @@ import json
 import math
 import os
 import re
+import threading
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+# One process-wide lock guards every metric mutation and registry
+# get-or-create.  The campaign server's evaluation broker runs
+# campaigns in worker threads that all increment the same counters;
+# a read-modify-write on a float or a dict insert must not tear.
+# Contention is negligible: updates are nanoseconds and the hot paths
+# already gate on ``obs.enabled()``.
+_LOCK = threading.Lock()
 
 
 def _atomic_write(path: str, payload: str) -> None:
@@ -84,7 +93,8 @@ class Counter(_Metric):
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge for deltas")
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
     def snapshot(self) -> Dict[str, object]:
         return {
@@ -108,13 +118,16 @@ class Gauge(_Metric):
         self.value: float = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with _LOCK:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with _LOCK:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with _LOCK:
+            self.value -= amount
 
     def snapshot(self) -> Dict[str, object]:
         return {
@@ -160,13 +173,14 @@ class Histogram(_Metric):
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.sum += value
-        self.count += 1
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        with _LOCK:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
 
     def cumulative_counts(self) -> List[int]:
         """Per-bucket cumulative counts including the +Inf bucket."""
@@ -256,17 +270,18 @@ class MetricsRegistry:
 
     def _get_or_create(self, cls, name: str, help: str, labels, **kwargs) -> _Metric:
         key = self._key(name, labels)
-        existing = self._metrics.get(key)
-        if existing is not None:
-            if not isinstance(existing, cls):
-                raise TypeError(
-                    f"metric {name!r} already registered as {existing.kind}, "
-                    f"not {cls.kind}"
-                )
-            return existing
-        metric = cls(name, help=help, labels=labels, **kwargs)
-        self._metrics[key] = metric
-        return metric
+        with _LOCK:
+            existing = self._metrics.get(key)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise TypeError(
+                        f"metric {name!r} already registered as {existing.kind}, "
+                        f"not {cls.kind}"
+                    )
+                return existing
+            metric = cls(name, help=help, labels=labels, **kwargs)
+            self._metrics[key] = metric
+            return metric
 
     def counter(
         self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None

@@ -43,9 +43,10 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -55,12 +56,14 @@ from repro.core.campaign import CampaignRunner
 from repro.hpc.faults import FaultInjector, FaultSpec
 from repro.hpc.scheduler import BatchScheduler, Job
 from repro.serve.admission import AdmissionController, TenantPolicy
+from repro.serve.broker import BrokeredEstimator, EvaluationBroker
 from repro.serve.journal import Journal, JournalRecord
 from repro.serve.spec import (
     TERMINAL_STATES,
     JobSpec,
     JobState,
     SpecError,
+    estimate_group_memory,
     estimate_job_memory,
     qubits_for_molecule,
 )
@@ -106,6 +109,13 @@ class ServerConfig:
     # sheds by memory pressure (rank loss shrinks the pool, so losing
     # ranks sheds memory-hungry queues even when the count bound holds)
     memory_queue_factor: int = 4
+    # cross-campaign batched execution (the evaluation broker): VQE
+    # campaigns with identical physics stack their evaluations into
+    # one (B, 2^n) batched-plan sweep per wave.  ``batch_size`` caps
+    # the rows per sweep; ``repro serve --no-batch`` disables the
+    # broker entirely (every campaign evaluates synchronously).
+    batch_enabled: bool = True
+    batch_size: int = 32
 
 
 @dataclass
@@ -251,11 +261,23 @@ class _JobExecution:
         ckpt_dir: str,
         config: ServerConfig,
         warm_x0: Optional[np.ndarray],
+        estimator_factory: Optional[Callable[[], Any]] = None,
     ):
         self.job = job
         self.problem = problem
         self.config = config
         self.warm_x0 = warm_x0
+        # non-None only when the server routes this campaign through
+        # the evaluation broker; the factory builds the job's
+        # BrokeredEstimator at step time (worker thread)
+        self.estimator_factory = estimator_factory
+        # brokered campaigns step in worker threads so their
+        # evaluations can interleave into shared batches
+        self.brokered = (
+            estimator_factory is not None
+            and job.spec.kind == "vqe"
+            and problem.get("ansatz") is not None
+        )
         self.runner = CampaignRunner(
             ckpt_dir,
             checkpoint_period=config.checkpoint_period,
@@ -312,18 +334,50 @@ class _JobExecution:
     def _run_vqe(self) -> Dict[str, Any]:
         from repro.core.vqe import VQE
 
-        vqe = VQE(
-            self.problem["hamiltonian"],
-            generators=self.problem["generators"],
-            reference_state=self.problem["reference"],
-            flight_context={
-                "job_id": self.job.job_id,
-                "tenant": self.job.spec.tenant,
-            },
-        )
+        flight_context = {
+            "job_id": self.job.job_id,
+            "tenant": self.job.spec.tenant,
+        }
+        ansatz = self.problem.get("ansatz")
+        if ansatz is not None:
+            # circuit mode over the physics-shared trotterized-UCCSD
+            # circuit: every same-physics job executes the SAME
+            # compiled plan, which is what lets the broker stack their
+            # evaluations; fd_gradient fuses value + gradient into one
+            # 2P+1-row sweep per optimizer iterate.  Batched and
+            # sequential serving both take this exact path (only the
+            # estimator differs), so their trajectories — and final
+            # energies — agree to floating-point noise.
+            estimator = (
+                self.estimator_factory()
+                if self.estimator_factory is not None
+                else None
+            )
+            vqe = VQE(
+                self.problem["hamiltonian"],
+                ansatz=ansatz,
+                estimator=estimator,
+                fd_gradient=True,
+                flight_context=flight_context,
+            )
+        else:
+            vqe = VQE(
+                self.problem["hamiltonian"],
+                generators=self.problem["generators"],
+                reference_state=self.problem["reference"],
+                flight_context=flight_context,
+            )
         x0 = self.warm_x0
         if x0 is not None:
             self.job.warm_started = True
+        elif vqe.num_parameters:
+            # seeded multi-start jitter: distinct seeds explore
+            # distinct basins deterministically, so same-molecule
+            # campaigns submitted with different seeds are genuinely
+            # independent optimizations (not one trajectory replayed
+            # N times) — the honest workload for batched serving
+            rng = np.random.default_rng(self.job.spec.seed)
+            x0 = 0.02 * rng.standard_normal(vqe.num_parameters)
         with obs.span("serve.job_step", job=self.job.job_id, kind="vqe"):
             campaign = self.runner.run_vqe(vqe, initial_parameters=x0)
         self.job.resumed = campaign.resumed_from is not None
@@ -381,6 +435,11 @@ class CampaignServer:
         self.fault_injector = (
             FaultInjector(self.config.fault_specs, seed=self.config.fault_seed)
             if self.config.fault_specs
+            else None
+        )
+        self.broker = (
+            EvaluationBroker(batch_size=self.config.batch_size)
+            if self.config.batch_enabled
             else None
         )
         self.executions: Dict[str, _JobExecution] = {}
@@ -750,11 +809,42 @@ class CampaignServer:
         # highest priority first, then submission order
         dispatchable.sort(key=lambda j: (-j.spec.priority, j.submitted_seq))
         scheduler = BatchScheduler(self.config.num_ranks, self.config.machine)
-        schedule = scheduler.schedule(
-            [self._estimate_job(j) for j in dispatchable],
-            available_ranks=alive,
-            rank_capacity_bytes=self.config.rank_memory_bytes,
-        )
+        if self.broker is not None:
+            # LPT over *batch groups*: same-physics VQE jobs must land
+            # on one rank to share a batched amplitude block, and the
+            # group's memory is priced as a batch (one shared plan /
+            # observable / Hamiltonian + B amplitude rows), far below
+            # the sum of standalone estimates
+            groups: Dict[str, List[JobRecord]] = {}
+            singles: List[JobRecord] = []
+            for j in dispatchable:
+                if j.spec.kind == "vqe":
+                    groups.setdefault(j.spec.physics_key(), []).append(j)
+                else:
+                    singles.append(j)
+            group_list: List[Tuple[List[Job], int]] = []
+            for pkey in sorted(groups):
+                members = groups[pkey]
+                group_list.append(
+                    (
+                        [self._estimate_job(j) for j in members],
+                        estimate_group_memory([j.spec for j in members]),
+                    )
+                )
+            for j in singles:
+                est = self._estimate_job(j)
+                group_list.append(([est], est.mem_bytes))
+            schedule = scheduler.schedule_groups(
+                group_list,
+                available_ranks=alive,
+                rank_capacity_bytes=self.config.rank_memory_bytes,
+            )
+        else:
+            schedule = scheduler.schedule(
+                [self._estimate_job(j) for j in dispatchable],
+                available_ranks=alive,
+                rank_capacity_bytes=self.config.rank_memory_bytes,
+            )
         placements: Dict[str, int] = {}
         for rank, jobs in schedule.assignments.items():
             if rank in running_ranks:
@@ -771,8 +861,13 @@ class CampaignServer:
             if self.state.jobs[jid].state == JobState.RUNNING
         }
         placements = self._plan_placements()
-        busy: set = {
-            j.rank for j in self._jobs_in(JobState.RUNNING) if j.rank is not None
+        # rank -> physics key of the batch group started there this
+        # tick; None marks a rank occupied by non-joinable work (a
+        # carried-over running job, an ADAPT step, or no-batch mode)
+        busy: Dict[int, Optional[str]] = {
+            j.rank: None
+            for j in self._jobs_in(JobState.RUNNING)
+            if j.rank is not None
         }
         for job in list(self._jobs_in(JobState.QUEUED)):
             if now < job.next_eligible:
@@ -787,8 +882,13 @@ class CampaignServer:
             # rather than computing it twice
             if key in running_content:
                 continue
+            joinable = self.broker is not None and job.spec.kind == "vqe"
             rank = placements.get(job.job_id)
-            if rank is None or rank in busy:
+            if rank is None:
+                continue
+            if rank in busy and not (
+                joinable and busy[rank] == job.spec.physics_key()
+            ):
                 continue
             # execution gate on the class breaker: an open class holds
             # its queued jobs; past the cooldown this allow() is the
@@ -803,7 +903,7 @@ class CampaignServer:
                 # tick.
                 continue
             self._start(job, rank)
-            busy.add(rank)
+            busy[rank] = job.spec.physics_key() if joinable else None
             running_content.add(key)
 
     def _start(self, job: JobRecord, rank: int) -> None:
@@ -835,8 +935,23 @@ class CampaignServer:
                 len(problem["generators"]),
             )
         self.executions[job.job_id] = _JobExecution(
-            job, problem, self._ckpt_dir(job), self.config, warm_x0
+            job,
+            problem,
+            self._ckpt_dir(job),
+            self.config,
+            warm_x0,
+            estimator_factory=self._estimator_factory(job),
         )
+
+    def _estimator_factory(
+        self, job: JobRecord
+    ) -> Optional[Callable[[], BrokeredEstimator]]:
+        """Broker-backed estimator builder for batchable campaigns
+        (``None`` routes the job down the synchronous path)."""
+        if self.broker is None or job.spec.kind != "vqe":
+            return None
+        broker, group_key, tag = self.broker, job.spec.physics_key(), job.job_id
+        return lambda: BrokeredEstimator(broker, group_key, tag=tag)
 
     def _ckpt_dir(self, job: JobRecord) -> str:
         return os.path.join(self.state_dir, "jobs", job.job_id)
@@ -844,6 +959,15 @@ class CampaignServer:
     # -- stepping + completion ------------------------------------------------
 
     def _step_running(self) -> None:
+        """Advance every running campaign one unit of work.
+
+        Brokered campaigns (batch-enabled VQE) step concurrently in
+        worker threads whose evaluations collect at the broker, batch
+        by physics, execute as shared sweeps, and resume — the
+        collect -> batch -> execute -> resume tick.  Everything else
+        (ADAPT, no-batch mode) steps synchronously as before.
+        """
+        runnable: List[Tuple[JobRecord, _JobExecution]] = []
         for job in list(self._jobs_in(JobState.RUNNING)):
             now = self._now()
             reason = self._deadline_violation(job, now)
@@ -867,21 +991,91 @@ class CampaignServer:
                 # process; rebuild it (checkpoints make this cheap)
                 self._start_recovered(job)
                 execution = self.executions[job.job_id]
+            runnable.append((job, execution))
+        # getattr: tests monkeypatch executions with bare stubs
+        brokered = [
+            (j, e) for j, e in runnable if getattr(e, "brokered", False)
+        ]
+        for job, execution in runnable:
+            if not getattr(execution, "brokered", False):
+                self._step_one(job, execution)
+        if brokered:
+            self._step_batched(brokered)
+
+    def _step_one(self, job: JobRecord, execution: _JobExecution) -> None:
+        """The synchronous step path (pre-broker semantics)."""
+        t0 = time.perf_counter()
+        try:
+            result = execution.step()
+        except Exception as err:  # noqa: BLE001 — any failure retries
+            job.exec_s += time.perf_counter() - t0
+            self._handle_failure(job, err)
+            return
+        job.exec_s += time.perf_counter() - t0
+        if result is not None:
+            self._finish_success(job, execution, result)
+
+    def _step_batched(
+        self, pairs: List[Tuple[JobRecord, _JobExecution]]
+    ) -> None:
+        """Collect -> batch -> execute -> resume for brokered campaigns.
+
+        Each campaign runs in a worker thread; the server thread pumps
+        the broker, executing shared batched sweeps every time all
+        workers are blocked on evaluation futures.  Completion and
+        failure handling — journal writes included — happen back on
+        the server thread after every worker has exited, in dispatch
+        order, so the journal stays single-writer and deterministic.
+        """
+        assert self.broker is not None
+        outcomes: Dict[str, Tuple[str, Any, float]] = {}
+
+        def worker(job_id: str, execution: _JobExecution) -> None:
             t0 = time.perf_counter()
             try:
                 result = execution.step()
-            except Exception as err:  # noqa: BLE001 — any failure retries
-                job.exec_s += time.perf_counter() - t0
-                self._handle_failure(job, err)
-                continue
-            job.exec_s += time.perf_counter() - t0
-            if result is not None:
-                self._finish_success(job, execution, result)
+                outcomes[job_id] = ("ok", result, time.perf_counter() - t0)
+            except BaseException as err:  # noqa: BLE001 — judged on the server thread
+                outcomes[job_id] = ("err", err, time.perf_counter() - t0)
+            finally:
+                self.broker.worker_finished()
+
+        threads: List[threading.Thread] = []
+        for job, execution in pairs:
+            # register before starting so the pump can never observe a
+            # transient zero-active state and return early
+            self.broker.worker_started()
+            threads.append(
+                threading.Thread(
+                    target=worker,
+                    args=(job.job_id, execution),
+                    name=f"serve-{job.job_id}",
+                    daemon=True,
+                )
+            )
+        with obs.span("serve.batch_tick", campaigns=len(pairs)):
+            for t in threads:
+                t.start()
+            self.broker.pump()
+            for t in threads:
+                t.join()
+        for job, execution in pairs:
+            status, payload, dt = outcomes[job.job_id]
+            job.exec_s += dt
+            if status == "err":
+                self._handle_failure(job, payload)
+            elif payload is not None:
+                self._finish_success(job, execution, payload)
 
     def _start_recovered(self, job: JobRecord) -> None:
         problem = self.problems.get(job.spec)
         self.executions[job.job_id] = _JobExecution(
-            job, problem, self._ckpt_dir(job), self.config, None
+            job,
+            problem,
+            self._ckpt_dir(job),
+            self.config,
+            None,
+            estimator_factory=self._estimator_factory(job),
         )
 
     def _deadline_violation(self, job: JobRecord, now: float) -> Optional[str]:
@@ -1119,6 +1313,9 @@ class CampaignServer:
             "ledger_live_bytes": ledger.live_bytes,
             "ledger_peak_bytes": ledger.peak_bytes,
         }
+        batch: Dict[str, Any] = {"enabled": self.broker is not None}
+        if self.broker is not None:
+            batch.update(self.broker.stats())
         return {
             "status": status,
             "ready": bool(alive) and not self.draining,
@@ -1136,6 +1333,7 @@ class CampaignServer:
             "journal_seq": self.state.last_seq,
             "stored_results": self.store.num_results(),
             "memory": memory,
+            "batch": batch,
         }
 
     def _publish_health(self) -> None:
@@ -1181,6 +1379,13 @@ class CampaignServer:
                 float(mem["running_est_bytes"]),
                 help="Capacity-model predicted bytes of running jobs",
             )
+            batch = health["batch"]
+            if batch.get("enabled"):
+                obs.gauge_set(
+                    "repro_serve_batch_occupancy_mean",
+                    float(batch.get("mean_occupancy", 0.0)),
+                    help="Mean evaluation rows per executed batch group",
+                )
             # per-tenant live-state gauges; only non-terminal states are
             # interesting live, and pairs that vanished since the last
             # publish are explicitly zeroed (a drained tenant's queue

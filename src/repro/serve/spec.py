@@ -36,6 +36,7 @@ __all__ = [
     "SpecError",
     "qubits_for_molecule",
     "estimate_job_memory",
+    "estimate_group_memory",
 ]
 
 SPEC_VERSION = 1
@@ -159,6 +160,23 @@ class JobSpec:
         blob = json.dumps(self._content_payload(with_geometry=False), sort_keys=True)
         return hashlib.sha256(blob.encode()).hexdigest()
 
+    def physics_key(self) -> str:
+        """Batching compatibility key: jobs whose (kind, molecule,
+        geometry, basis) agree share one Hamiltonian, reference state,
+        and ansatz, so their evaluation requests stack into one
+        batched-plan sweep even when seeds, optimizers, or tenants
+        differ.  Coarser than :meth:`content_key` (which also hashes
+        solver knobs) on purpose — the whole point of the evaluation
+        broker is that *distinct* campaigns batch together."""
+        payload = {
+            "kind": self.kind,
+            "molecule": self.molecule,
+            "geometry": self.geometry,
+            "basis": self.basis,
+        }
+        blob = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(blob.encode()).hexdigest()
+
     def class_key(self) -> str:
         """Failure-domain key for the circuit breaker: jobs of one
         (kind, molecule, basis) class fail together when e.g. the
@@ -244,6 +262,28 @@ def estimate_job_memory(spec: "JobSpec") -> int:
             compiled_passes=passes,
             generator_terms=_GENERATORS_BY_MOLECULE.get(key, 0),
         )["total"]
+    )
+
+
+def estimate_group_memory(specs) -> int:
+    """Predicted peak bytes of a same-physics batch group (the unit the
+    group-aware scheduler places).  The members share one compiled
+    plan/observable/Hamiltonian, so the batch costs one job's total
+    plus B-1 extra amplitude rows — see
+    :func:`repro.obs.memory.estimate_batched_group_bytes`."""
+    from repro.obs.memory import estimate_batched_group_bytes
+
+    specs = list(specs)
+    if not specs:
+        return 0
+    spec = specs[0]
+    key = spec.molecule.lower()
+    return estimate_batched_group_bytes(
+        qubits_for_molecule(spec.molecule),
+        len(specs),
+        kind=spec.kind,
+        compiled_passes=_PASSES_BY_MOLECULE.get(key),
+        generator_terms=_GENERATORS_BY_MOLECULE.get(key, 0),
     )
 
 

@@ -152,8 +152,16 @@ class ProblemCache:
 
     def __init__(self) -> None:
         self._cache: Dict[str, Dict[str, Any]] = {}
+        # second tier, keyed by JobSpec.physics_key(): distinct content
+        # keys (different seeds / solver knobs) whose physics agree
+        # share ONE problem dict, hence one Hamiltonian object, one
+        # ansatz circuit, one compiled plan, one compiled observable —
+        # which is what lets the evaluation broker stack their
+        # evaluation requests into a single batched sweep.
+        self._physics: Dict[str, Dict[str, Any]] = {}
         self.builds = 0
         self.hits = 0
+        self.physics_hits = 0
         self.total_bytes = 0
         self._mem = 0
 
@@ -182,8 +190,22 @@ class ProblemCache:
                     help="Problem-cache hits (shared compiled artifacts)",
                 )
             return cached
+        pkey = spec.physics_key()
+        shared = self._physics.get(pkey)
+        if shared is not None:
+            # same physics under a different content key (e.g. another
+            # seed): alias the shared problem, no rebuild, no new bytes
+            self._cache[key] = shared
+            self.physics_hits += 1
+            if obs.enabled():
+                obs.inc(
+                    "repro_serve_problem_cache_physics_hits_total",
+                    help="Problem-cache physics-tier hits (cross-seed sharing)",
+                )
+            return shared
         problem = self._build(spec)
         self._cache[key] = problem
+        self._physics[pkey] = problem
         self.builds += 1
         self.total_bytes += self._problem_bytes(problem)
         if not self._mem:  # late-bound: obs may be enabled after init
@@ -202,7 +224,7 @@ class ProblemCache:
         from repro.chem.pools import uccsd_pool
         from repro.chem.reference import hartree_fock_state
         from repro.chem.scf import run_rhf
-        from repro.chem.uccsd import uccsd_generators
+        from repro.chem.uccsd import build_uccsd_circuit, uccsd_generators
 
         with obs.span(
             "serve.build_problem", molecule=spec.molecule, kind=spec.kind
@@ -226,6 +248,12 @@ class ProblemCache:
                 problem["generators"] = [
                     a for _, a in uccsd_generators(n_so, n_e)
                 ]
+                # one shared trotterized-UCCSD circuit per physics key:
+                # compile_circuit memoizes on the object, so every job
+                # aliasing this problem executes the SAME ExecutionPlan
+                # — the compatibility unit the evaluation broker
+                # batches on
+                problem["ansatz"] = build_uccsd_circuit(n_so, n_e).circuit
         return problem
 
     def __len__(self) -> int:

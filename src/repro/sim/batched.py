@@ -40,7 +40,12 @@ class BatchedStatevectorSimulator:
     """B copies of an n-qubit register evolving under one circuit
     template with per-copy parameters."""
 
-    def __init__(self, num_qubits: int, batch_size: int):
+    def __init__(
+        self,
+        num_qubits: int,
+        batch_size: int,
+        mem_category: str = "batched_statevector",
+    ):
         if num_qubits < 1:
             raise ValueError("num_qubits must be >= 1")
         if batch_size < 1:
@@ -52,7 +57,7 @@ class BatchedStatevectorSimulator:
         self.dim = 1 << num_qubits
         self.states = np.zeros((batch_size, self.dim), dtype=np.complex128)
         self.states[:, 0] = 1.0
-        obs.mem_track(self, "batched_statevector", self.states.nbytes)
+        obs.mem_track(self, mem_category, self.states.nbytes)
 
     def reset(self) -> None:
         self.states.fill(0)
@@ -76,18 +81,14 @@ class BatchedStatevectorSimulator:
         self.states[:, i1] = ms[:, 1, 0, None] * a0 + ms[:, 1, 1, None] * a1
 
     def _apply_2q_fixed(self, m: np.ndarray, q0: int, q1: int) -> None:
-        idx = indices_2q(self.num_qubits, q0, q1)
-        amps = [self.states[:, i] for i in idx]
-        for row in range(4):
-            self.states[:, idx[row]] = sum(m[row, col] * amps[col] for col in range(4))
+        idx = np.vstack(indices_2q(self.num_qubits, q0, q1))
+        sub = self.states[:, idx]  # (B, 4, dim/4)
+        self.states[:, idx] = np.einsum("rc,bcj->brj", m, sub)
 
     def _apply_2q_batched(self, ms: np.ndarray, q0: int, q1: int) -> None:
-        idx = indices_2q(self.num_qubits, q0, q1)
-        amps = [self.states[:, i] for i in idx]
-        for row in range(4):
-            self.states[:, idx[row]] = sum(
-                ms[:, row, col, None] * amps[col] for col in range(4)
-            )
+        idx = np.vstack(indices_2q(self.num_qubits, q0, q1))
+        sub = self.states[:, idx]  # (B, 4, dim/4)
+        self.states[:, idx] = np.einsum("brc,bcj->brj", ms, sub)
 
     @staticmethod
     def _batched_matrix(name: str, angles: np.ndarray) -> np.ndarray:
@@ -137,7 +138,52 @@ class BatchedStatevectorSimulator:
             out[:, 0, 3] = out[:, 3, 0] = 1j * s
             out[:, 1, 2] = out[:, 2, 1] = -1j * s
             return out
-        raise ValueError(f"no batched form for parameterized gate {name!r}")
+        if name == "cp":
+            out = np.zeros((b, 4, 4), dtype=np.complex128)
+            out[:, 0, 0] = out[:, 1, 1] = out[:, 2, 2] = 1.0
+            out[:, 3, 3] = np.cos(angles) + 1j * np.sin(angles)
+            return out
+        if name == "crz":
+            e = np.cos(angles / 2.0) - 1j * np.sin(angles / 2.0)
+            out = np.zeros((b, 4, 4), dtype=np.complex128)
+            out[:, 0, 0] = out[:, 2, 2] = 1.0
+            out[:, 1, 1] = e
+            out[:, 3, 3] = e.conj()
+            return out
+        raise ValueError(
+            f"no batched form for parameterized gate {name!r}; supported "
+            "affine-parameter gates: rx, ry, rz, p, cp, crz, rzz, rxx, ryy"
+        )
+
+    @staticmethod
+    def _batched_diag(name: str, angles: np.ndarray):
+        """Per-row diagonal factors for affine-parameter phase gates.
+
+        Returns ``[(sub_index, values), ...]`` listing only the
+        non-identity columns of the (batched) diagonal — the same
+        sparse update the scalar plan path applies — or ``None`` when
+        the gate is not diagonal in the computational basis.  The
+        trig forms mirror :meth:`repro.sim.plan.PlanOp.resolve`
+        exactly so batched and scalar execution agree bitwise.
+        """
+        if name == "rz":
+            h = angles / 2.0
+            e = np.cos(h) - 1j * np.sin(h)
+            return [(0, e), (1, e.conj())]
+        if name == "p":
+            return [(1, np.cos(angles) + 1j * np.sin(angles))]
+        if name == "rzz":
+            h = angles / 2.0
+            e = np.cos(h) - 1j * np.sin(h)
+            ec = e.conj()
+            return [(0, e), (1, ec), (2, ec), (3, e)]
+        if name == "cp":
+            return [(3, np.cos(angles) + 1j * np.sin(angles))]
+        if name == "crz":
+            h = angles / 2.0
+            e = np.cos(h) - 1j * np.sin(h)
+            return [(1, e), (3, e.conj())]
+        return None
 
     # -- execution ------------------------------------------------------------
 
@@ -247,20 +293,34 @@ class BatchedStatevectorSimulator:
             elif kind == "dense2":
                 self._apply_2q_fixed(op.data, op.qubits[0], op.qubits[1])
             elif not op.is_parametric:
-                raise ValueError("batched mode supports <=2-qubit gates")
+                raise ValueError(
+                    f"batched plan execution supports <=2-qubit static ops; "
+                    f"got kind {kind!r} on qubits {tuple(op.qubits)}"
+                )
             else:
                 refs = op.param_refs
                 if len(refs) != 1 or refs[0][0] != "p":
                     raise ValueError(
-                        "batched mode supports single-angle rotation gates"
+                        f"batched plan execution supports single-angle "
+                        f"affine-parameter gates; {op.gate_name!r} has "
+                        f"parameter refs {refs!r}"
                     )
                 _, coeff, slot, offset = refs[0]
                 angles = coeff * param_rows[:, slot] + offset
-                ms = self._batched_matrix(op.gate_name, angles)
-                if len(op.qubits) == 1:
-                    self._apply_1q_batched(ms, op.qubits[0])
+                diag = self._batched_diag(op.gate_name, angles)
+                if diag is not None:
+                    if len(op.qubits) == 1:
+                        idx = indices_1q(n, op.qubits[0])
+                    else:
+                        idx = indices_2q(n, op.qubits[0], op.qubits[1])
+                    for sub, vals in diag:
+                        self.states[:, idx[sub]] *= vals[:, None]
                 else:
-                    self._apply_2q_batched(ms, op.qubits[0], op.qubits[1])
+                    ms = self._batched_matrix(op.gate_name, angles)
+                    if len(op.qubits) == 1:
+                        self._apply_1q_batched(ms, op.qubits[0])
+                    else:
+                        self._apply_2q_batched(ms, op.qubits[0], op.qubits[1])
         return self.states
 
     # -- observation ---------------------------------------------------------------
